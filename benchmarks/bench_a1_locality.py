@@ -1,0 +1,21 @@
+"""A1 ablation — locality-aware map binding vs oblivious baselines.
+
+Shape claim: disabling locality-aware binding collapses node-local
+reads and inflates HDFS-read network traffic by a large factor — the
+justification for modelling delay scheduling's steady state at all.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_a1_locality(benchmark):
+    (table,) = run_experiment(benchmark, figures.a1_locality)
+    rows = {row[0]: row for row in table.rows}
+    aware = rows["default (aware)"]
+    oblivious = rows["binding off"]
+
+    # Aware binding keeps most reads node-local; oblivious does not.
+    assert aware[1] > oblivious[1]
+    # And oblivious binding moves several times more read bytes.
+    assert oblivious[4] > 3 * max(aware[4], 1.0)

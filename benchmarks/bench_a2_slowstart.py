@@ -1,0 +1,19 @@
+"""A2 ablation — reducer slow-start vs the shuffle arrival process.
+
+Shape claims: raising the slow-start fraction pushes the first shuffle
+fetch later (reducers wait for more completed maps), and at 1.0 the
+lost map/shuffle overlap costs completion time versus the default.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_a2_slowstart(benchmark):
+    (table,) = run_experiment(benchmark, figures.a2_slowstart)
+    rows = {row[0]: row for row in table.rows}
+
+    # First fetch moves later as slow-start grows.
+    assert rows[1.0][1] > rows[0.05][1]
+    # Losing all overlap costs JCT.
+    assert rows[1.0][4] > rows[0.05][4]

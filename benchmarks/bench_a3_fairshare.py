@@ -1,0 +1,23 @@
+"""A3 ablation — max-min shared links vs an uncontended lower bound.
+
+Shape claim: the shared-link replay is strictly slower than the
+uncontended bound (contention is real and the fluid model captures
+it), but within a small factor — the network is not the only
+bottleneck for these traces.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_a3_fairshare(benchmark):
+    (table,) = run_experiment(benchmark, figures.a3_fairshare)
+    rows = {row[0]: row for row in table.rows}
+    shared = rows["max-min shared links"]
+    bound = rows["uncontended bound"]
+
+    # Contention can only slow flows down.
+    assert shared[1] >= bound[1] * 0.999
+    assert shared[2] >= bound[2] * 0.999
+    # But the trace's own pacing dominates: within 3x of the bound.
+    assert shared[1] < 3.0 * bound[1]

@@ -1,0 +1,21 @@
+"""A4 ablation — delay scheduling (locality wait).
+
+Shape claim: on unreplicated input, waiting for the split-holding node
+converts remote split reads into node-local ones and shrinks the
+HDFS-read component, at a bounded completion-time cost.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_a4_delay_scheduling(benchmark):
+    (table,) = run_experiment(benchmark, figures.a4_delay_scheduling)
+    rows = {row[0]: row for row in table.rows}
+    eager, patient = rows[0.0], rows[6.0]
+
+    # Waiting buys locality and removes read traffic.
+    assert patient[1] > eager[1]
+    assert patient[4] < eager[4]
+    # At a bounded time cost.
+    assert patient[5] < 2.0 * eager[5]

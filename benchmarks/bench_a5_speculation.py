@@ -1,0 +1,24 @@
+"""A5 ablation — speculative execution under stragglers.
+
+Shape claims: with 25% of attempts slowed 20x, enabling speculation
+shortens both the worst map duration and the job completion time, at
+the cost of duplicate launches and extra HDFS-read traffic.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_a5_speculation(benchmark):
+    (table,) = run_experiment(benchmark, figures.a5_speculation)
+    rows = {row[0]: row for row in table.rows}
+    off, on = rows["off"], rows["on"]
+
+    # Speculation actually launched duplicates...
+    assert on[3] > 0
+    assert on[4] > off[4]
+    # ...which cost extra read traffic...
+    assert on[5] >= off[5]
+    # ...and bought a shorter tail and JCT.
+    assert on[2] < off[2]
+    assert on[1] < off[1]

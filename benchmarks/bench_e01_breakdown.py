@@ -1,0 +1,28 @@
+"""E1 — traffic volume breakdown by component per job type.
+
+Regenerates the stacked per-job decomposition (HDFS read / shuffle /
+HDFS write / control).  Shape claims: TeraSort is shuffle-dominated,
+K-Means is read-dominated with a near-zero shuffle, and control traffic
+is negligible for every job.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e01_breakdown(benchmark):
+    (table,) = run_experiment(benchmark, figures.e01_breakdown)
+    by_job = {row[0]: row for row in table.rows}
+
+    # TeraSort: shuffle dominates everything else.
+    terasort = by_job["terasort"]
+    assert terasort[2] > terasort[1] and terasort[2] > terasort[3]
+
+    # K-Means: shuffle is near zero; reads dominate its data traffic.
+    kmeans = by_job["kmeans"]
+    assert kmeans[6] < 0.05  # shuffle share
+    assert kmeans[1] > kmeans[2]
+
+    # Control plane is a rounding error of total volume for all jobs.
+    for row in table.rows:
+        assert row[4] < 0.01 * row[5]

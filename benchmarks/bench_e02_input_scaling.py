@@ -1,0 +1,37 @@
+"""E2 — total traffic vs input size per job type.
+
+Shape claims: shuffle+write traffic grows monotonically and
+near-linearly with input for the data-moving jobs (terasort,
+wordcount, pagerank); grep and kmeans stay near-flat because their
+shuffles/outputs are metadata-sized; terasort moves more bytes per
+input GiB than grep at every size.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+LINEAR_JOBS = {"terasort", "wordcount", "pagerank"}
+FLAT_JOBS = {"grep", "kmeans"}
+
+
+def test_e02_input_scaling(benchmark):
+    (table,) = run_experiment(benchmark, figures.e02_input_scaling)
+    by_job = {}
+    for job, gb, read, shuffle, write, total, per_gb in table.rows:
+        by_job.setdefault(job, []).append((gb, shuffle + write))
+
+    for job, rows in by_job.items():
+        rows.sort()
+        volumes = [volume for _, volume in rows]
+        # Data-plane (shuffle+write) volume grows with input everywhere.
+        assert all(a < b for a, b in zip(volumes, volumes[1:])), job
+        growth = volumes[-1] / volumes[0]  # 0.25 -> 2 GiB = 8x input
+        if job in LINEAR_JOBS:
+            assert growth > 4.0, f"{job} should scale near-linearly"
+        if job in FLAT_JOBS:
+            assert growth < 4.0, f"{job} should scale sub-linearly"
+
+    # Job ordering: terasort out-transfers grep at every size.
+    terasort = dict(by_job["terasort"])
+    grep = dict(by_job["grep"])
+    assert all(terasort[gb] > grep[gb] for gb in terasort)

@@ -1,0 +1,37 @@
+"""E3 — per-component flow size CDFs with fitted distributions.
+
+Shape claims: a fit is reported for every data component present; the
+printed empirical/fit gap never exceeds the fit's own reported KS
+distance (internal consistency); the shuffle population — the one the
+paper's models centre on — is fitted well by a parametric family; and
+HDFS-read flow sizes sit at the block size.
+"""
+
+import re
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def _reported_ks(title):
+    return float(re.search(r"KS=([0-9.]+)", title).group(1))
+
+
+def test_e03_flow_size_cdf(benchmark):
+    tables = run_experiment(benchmark, figures.e03_flow_size_cdf)
+    assert len(tables) >= 2  # shuffle + hdfs_write at minimum
+
+    for table in tables:
+        assert table.rows
+        # The KS statistic is the sup gap, so every printed gap <= KS.
+        max_gap = max(abs(row[2] - row[3]) for row in table.rows)
+        assert max_gap <= _reported_ks(table.title) + 0.05, table.title
+
+    shuffle = next(t for t in tables if "shuffle" in t.title)
+    assert _reported_ks(shuffle.title) < 0.2
+
+    read_tables = [t for t in tables if "hdfs_read" in t.title]
+    if read_tables:
+        # Every read flow is one 32 MiB block (the campaign's block size).
+        values = [row[1] for row in read_tables[0].rows]
+        assert all(abs(v - 32 * 1024 * 1024) < 1024 for v in values)

@@ -1,0 +1,36 @@
+"""E4 — per-component flow inter-arrival CDFs with fitted distributions.
+
+Shape claims: gaps are non-negative; printed empirical/fit gaps stay
+within the fit's reported KS distance; shuffle arrivals are bursty
+(heavy mass of small gaps, a long right tail) and parametrically
+fittable.
+"""
+
+import re
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def _reported_ks(title):
+    return float(re.search(r"KS=([0-9.]+)", title).group(1))
+
+
+def test_e04_arrival_cdf(benchmark):
+    tables = run_experiment(benchmark, figures.e04_arrival_cdf)
+    assert tables
+
+    for table in tables:
+        values = [row[1] for row in table.rows]
+        assert all(v >= 0 for v in values)
+        max_gap = max(abs(row[2] - row[3]) for row in table.rows)
+        assert max_gap <= _reported_ks(table.title) + 0.05, table.title
+
+    shuffle = [t for t in tables if "shuffle" in t.title]
+    assert shuffle, "shuffle arrivals must be modelled"
+    assert _reported_ks(shuffle[0].title) < 0.35
+    # Bursty: the median gap is far below the maximum gap.
+    rows = shuffle[0].rows
+    median = [row[1] for row in rows if row[0] == "0.50"][0]
+    maximum = rows[-1][1]
+    assert maximum > 5 * max(median, 1e-9)

@@ -1,0 +1,29 @@
+"""E5 — best-fit distribution table per (job, component, metric).
+
+Shape claims: the table covers every job in the mix, KS distances are
+reported for every row, and the HDFS-read size rows are recognised as
+(near-)degenerate block-sized populations, i.e. their best parametric
+fit has tiny spread or the KS column flags the mismatch.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e05_fit_table(benchmark):
+    (table,) = run_experiment(benchmark, figures.e05_fit_table)
+
+    jobs = {row[0] for row in table.rows}
+    assert jobs == {"terasort", "wordcount", "grep", "pagerank", "kmeans"}
+
+    # Every row carries a valid KS statistic and a sample count.
+    for row in table.rows:
+        ks, n = row[5], row[6]
+        assert 0.0 <= ks <= 1.0
+        assert n >= 3
+
+    # Shuffle sizes exist for every shuffling job and fit reasonably.
+    shuffle_size_rows = [row for row in table.rows
+                         if row[1] == "shuffle" and row[2] == "size"]
+    assert len(shuffle_size_rows) >= 4
+    assert min(row[5] for row in shuffle_size_rows) < 0.2

@@ -1,0 +1,27 @@
+"""E6 — flow count scaling vs input size and vs reducer count.
+
+Shape claims: map count equals input/blocksize; captured shuffle flows
+track the maps x reduces law from below (local fetches are silent);
+doubling reducers roughly doubles shuffle flows while shrinking the
+median flow size by about half.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e06_flow_counts(benchmark):
+    by_size, by_reducers = run_experiment(benchmark, figures.e06_flow_counts)
+
+    for gb, maps, reduces, reads, shuffles, law, writes in by_size.rows:
+        assert maps == int(gb * 1024 / 32)  # 32 MiB blocks
+        assert 0 < shuffles <= law
+
+    shuffle_counts = [row[4] for row in by_size.rows]
+    assert shuffle_counts == sorted(shuffle_counts)  # grows with input
+
+    counts = {row[0]: row[2] for row in by_reducers.rows}
+    medians = {row[0]: row[4] for row in by_reducers.rows}
+    # Doubling reducers: flow count up ~2x (within slack), median down.
+    assert counts[16] > 3 * counts[2]
+    assert medians[2] > 3 * medians[16]

@@ -1,0 +1,28 @@
+"""E7 — HDFS write traffic vs replication factor.
+
+Shape claims: write traffic is ~(replication - 1) x the generated
+bytes — zero network copies at r=1, one at r=2, two at r=3 — and
+rack-aware placement keeps cross-rack bytes at ~one copy regardless
+of r >= 2.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e07_replication(benchmark):
+    (table,) = run_experiment(benchmark, figures.e07_replication)
+    rows = {row[0]: row for row in table.rows}
+
+    generated_mib = 1024.0
+    overhead = 30.0  # jar staging + history
+
+    assert rows[1][1] < overhead
+    assert rows[2][1] == pytest.approx(1 * generated_mib, rel=0.1)
+    assert rows[3][1] == pytest.approx(2 * generated_mib, rel=0.1)
+
+    # Cross-rack write bytes: about one copy for r in {2, 3}.
+    assert rows[2][4] == pytest.approx(generated_mib, rel=0.25)
+    assert rows[3][4] == pytest.approx(generated_mib, rel=0.35)

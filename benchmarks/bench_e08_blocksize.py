@@ -1,0 +1,28 @@
+"""E8 — flow-size population vs dfs.blocksize.
+
+Shape claims: map count halves as the block doubles; the median
+HDFS-read flow *is* the block; and shuffle flow count shrinks with
+fewer maps while the median shuffle flow grows proportionally.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e08_blocksize(benchmark):
+    (table,) = run_experiment(benchmark, figures.e08_blocksize)
+    rows = {row[0]: row for row in table.rows}
+
+    assert rows[16][1] == 64   # 1 GiB / 16 MiB
+    assert rows[32][1] == 32
+    assert rows[64][1] == 16
+
+    for block_mb, row in rows.items():
+        if row[2] > 0:  # read flows captured
+            assert row[3] == pytest.approx(block_mb, rel=0.01)
+
+    # Shuffle: fewer, larger flows as blocks grow.
+    assert rows[16][4] > rows[64][4]
+    assert rows[64][5] > 2 * rows[16][5]

@@ -1,0 +1,32 @@
+"""E9 — scheduler comparison with concurrent jobs.
+
+Shape claims: every scheduler finishes all jobs; FIFO's last-submitted
+job waits longest (head-of-line blocking), so FIFO's worst-case JCT is
+at least as bad as Fair's; makespans are broadly comparable (schedulers
+reorder work, they don't create capacity).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e09_schedulers(benchmark):
+    (table,) = run_experiment(benchmark, figures.e09_schedulers)
+
+    by_scheduler = {}
+    for scheduler, job, queue, jct, mean_jct, makespan in table.rows:
+        by_scheduler.setdefault(scheduler, []).append((job, jct, makespan))
+
+    assert set(by_scheduler) == {"fifo", "fair", "capacity", "drf"}
+    for scheduler, rows in by_scheduler.items():
+        assert len(rows) == 3
+        assert all(jct > 0 for _, jct, _ in rows)
+
+    worst = {scheduler: max(jct for _, jct, _ in rows)
+             for scheduler, rows in by_scheduler.items()}
+    makespans = {scheduler: rows[0][2] for scheduler, rows in by_scheduler.items()}
+
+    # FIFO's straggler is no better than Fair's (head-of-line blocking).
+    assert worst["fifo"] >= worst["fair"] * 0.85
+    # Reordering, not capacity: makespans within 2x of each other.
+    assert max(makespans.values()) < 2.0 * min(makespans.values())

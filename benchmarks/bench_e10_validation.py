@@ -1,0 +1,36 @@
+"""E10 — model validation: synthetic vs captured flow populations.
+
+Shape claims: generated traffic matches captures tightly on flow counts
+and volumes for every component, and the flow-size KS distance is small
+for the high-count components that dominate each job's traffic (tiny
+components with a handful of flows are noise-limited and excluded from
+the KS aggregate, but still reported).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e10_validation(benchmark):
+    (table,) = run_experiment(benchmark, figures.e10_validation)
+    assert table.rows
+
+    count_errors = [row[4] for row in table.rows]
+    volume_errors = [row[7] for row in table.rows]
+    assert sum(count_errors) / len(count_errors) < 0.15
+    assert sum(volume_errors) / len(volume_errors) < 0.15
+
+    # KS fidelity on statistically meaningful populations (>= 30 flows).
+    ks_values = [row[8] for row in table.rows
+                 if row[8] != "-" and row[2] >= 30]
+    assert ks_values
+    assert sum(ks_values) / len(ks_values) < 0.35
+
+    # The dominant component of every job is reproduced tightly.
+    best_per_job = {}
+    for row in table.rows:
+        job, captured_mib, volume_error = row[0], row[5], row[7]
+        if captured_mib > best_per_job.get(job, (0.0, 0.0))[0]:
+            best_per_job[job] = (captured_mib, volume_error)
+    for job, (_, volume_error) in best_per_job.items():
+        assert volume_error < 0.25, f"{job} dominant component off by {volume_error}"

@@ -1,0 +1,33 @@
+"""E11 — replay validation: network behaviour of generated traffic.
+
+Shape claims: replaying model-generated traffic produces volumes
+matching the capture; the empirical arrival-curve generator reproduces
+the capture's makespan closely (within ~35%), while the simpler
+renewal-gap generator stays within an order of magnitude — quantifying
+why the model carries the arrival curve at all.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e11_replay(benchmark):
+    (table,) = run_experiment(benchmark, figures.e11_replay)
+    rows = {row[0]: row for row in table.rows}
+    captured = rows["captured"]
+    gaps = rows["generated (renewal gaps)"]
+    curve = rows["generated (arrival curve)"]
+
+    # Volumes are comparable for both generators.
+    for generated in (gaps, curve):
+        assert abs(generated[2] - captured[2]) / captured[2] < 0.35
+
+    # Temporal fidelity: the arrival curve is the accurate one.
+    curve_ratio = curve[3] / captured[3]
+    gaps_ratio = gaps[3] / captured[3]
+    assert 0.65 < curve_ratio < 1.35
+    assert 0.2 < gaps_ratio < 5.0
+    assert abs(curve_ratio - 1.0) <= abs(gaps_ratio - 1.0)
+
+    # All three replays actually load the network.
+    assert all(row[5] > 0 for row in table.rows)

@@ -1,0 +1,32 @@
+"""E12 — traffic and completion time vs cluster size.
+
+Shape claims: as the cluster grows, map locality dilutes — HDFS-read
+traffic and the cross-rack share both rise monotonically — and the
+completion time improves from 4 to 8 nodes (parallelism) before the
+remote-read tax erodes the gains at 32 nodes with a fixed reducer
+count.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e12_cluster_scaling(benchmark):
+    (table,) = run_experiment(benchmark, figures.e12_cluster_scaling)
+    rows = sorted(table.rows)  # by node count
+
+    nodes = [row[0] for row in rows]
+    assert nodes == [4, 8, 16, 32]
+
+    reads = [row[3] for row in rows]
+    cross = [row[6] for row in rows]
+    jct = {row[0]: row[7] for row in rows}
+
+    # Locality dilution: read traffic and cross-rack share grow.
+    assert all(a <= b for a, b in zip(reads, reads[1:]))
+    assert reads[-1] > reads[0]
+    assert all(a <= b + 0.05 for a, b in zip(cross, cross[1:]))
+    assert cross[-1] > cross[0]
+
+    # Early parallelism pays off.
+    assert jct[8] < jct[4]

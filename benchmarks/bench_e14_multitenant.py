@@ -1,0 +1,20 @@
+"""E14 — multi-tenant interference vs isolated runs.
+
+Shape claims: every suite job completes; slowdown factors are bounded
+(no starvation under the default scheduler at this load), and at least
+some jobs experience measurable contention (mean slowdown >= 1).
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e14_multitenant(benchmark):
+    (table,) = run_experiment(benchmark, figures.e14_multitenant)
+    assert len(table.rows) == 6
+
+    slowdowns = [row[5] for row in table.rows]
+    # All jobs finished with sane interference factors.
+    assert all(0.5 < s < 5.0 for s in slowdowns)
+    # Net contention exists but nobody starves.
+    assert sum(slowdowns) / len(slowdowns) >= 0.95

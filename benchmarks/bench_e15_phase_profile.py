@@ -1,0 +1,32 @@
+"""E15 — traffic over time: the job's phase structure.
+
+Shape claims (on ``sort``, whose replicated output creates a real write
+wave): the three data components peak in pipeline order — HDFS reads
+before (or with) the shuffle, the shuffle before the output writes —
+which is the phase signature the generated traffic's start-offset laws
+must preserve.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e15_phase_profile(benchmark):
+    (table,) = run_experiment(benchmark, figures.e15_phase_profile)
+    assert len(table.rows) > 3
+
+    # Recover per-component peak times from the table itself.
+    header_index = {name: i for i, name in enumerate(table.headers)}
+    peaks = {}
+    for name, index in header_index.items():
+        if name == "t (s)":
+            continue
+        column = [row[index] for row in table.rows]
+        if max(column) > 0:
+            peaks[name] = table.rows[column.index(max(column))][0]
+
+    assert "shuffle MiB/s" in peaks
+    if "hdfs_read MiB/s" in peaks:
+        assert peaks["hdfs_read MiB/s"] <= peaks["shuffle MiB/s"]
+    if "hdfs_write MiB/s" in peaks:
+        assert peaks["shuffle MiB/s"] <= peaks["hdfs_write MiB/s"]

@@ -1,0 +1,28 @@
+"""E16 — leave-one-out cross-validation of the scaling laws.
+
+Shape claim: models fitted with one input size held out predict that
+size's shuffle volume within tens of percent — the linear count/volume
+laws extrapolate, which is what makes generated traffic for unseen
+sizes trustworthy.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e16_crossval(benchmark):
+    (table,) = run_experiment(benchmark, figures.e16_crossval)
+    assert table.rows
+
+    shuffle_rows = [row for row in table.rows if row[2] == "shuffle"]
+    assert shuffle_rows
+    errors = [row[7] for row in shuffle_rows if row[7] != "inf"]
+    # Every held-out shuffle prediction lands within 50%, mean within 25%.
+    assert max(errors) < 0.5
+    assert sum(errors) / len(errors) < 0.25
+
+    # The (structurally constant) write component is predicted exactly
+    # for most holdouts.
+    write_rows = [row for row in table.rows if row[2] == "hdfs_write"]
+    good = [row for row in write_rows if row[7] != "inf" and row[7] < 0.1]
+    assert len(good) >= len(write_rows) // 2

@@ -1,0 +1,21 @@
+"""E17 — Hadoop replay under background cross-traffic.
+
+Shape claims: Hadoop flow-completion-time inflation grows monotonically
+with the offered background load; light load (20% on a few pairs) is
+nearly free while heavy load (80% on many pairs) inflates FCTs by
+several x.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e17_interference(benchmark):
+    (table,) = run_experiment(benchmark, figures.e17_interference)
+    inflations = [row[4] for row in table.rows]
+
+    # Monotone non-decreasing inflation with load (small numeric slack).
+    assert all(a <= b + 0.05 for a, b in zip(inflations, inflations[1:]))
+    # Light load is nearly free; heavy load clearly is not.
+    assert inflations[1] < 1.3
+    assert inflations[-1] > 1.5

@@ -1,0 +1,25 @@
+"""E18 — model fidelity vs number of training input sizes.
+
+Shape claims: a model trained on one input size must extrapolate
+proportionally and misses the affine components badly (large mean
+volume error); adding a second size pins the affine law and collapses
+the error; three sizes refine it further.  The shuffle component —
+nearly proportional — is predicted decently even from one size.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e18_training_sensitivity(benchmark):
+    (table,) = run_experiment(benchmark, figures.e18_training_sensitivity)
+    assert len(table.rows) == 3
+
+    mean_errors = [row[4] for row in table.rows]
+    # One size is much worse than two; two no worse than ~one; three best.
+    assert mean_errors[0] > 2.0 * mean_errors[1]
+    assert mean_errors[2] <= mean_errors[1] + 0.05
+
+    # The near-proportional shuffle survives even single-size training.
+    shuffle_errors = [row[2] for row in table.rows]
+    assert all(err < 0.5 for err in shuffle_errors)

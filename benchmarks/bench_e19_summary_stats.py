@@ -1,0 +1,26 @@
+"""E19 — flow summary statistics per (job, component).
+
+Shape claims: HDFS-read flows are block-quantised (p50 == max == one
+block); shuffle p99 exceeds p50 (partition skew); TeraSort's shuffle
+carries more total bytes than WordCount's at the same input.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+BLOCK_KIB = 32 * 1024  # the campaign's 32 MiB block in KiB
+
+
+def test_e19_summary_stats(benchmark):
+    (table,) = run_experiment(benchmark, figures.e19_summary_stats)
+    rows = {(row[0], row[1]): row for row in table.rows}
+
+    for (job, component), row in rows.items():
+        if component == "hdfs_read":
+            assert row[4] == row[6] == BLOCK_KIB  # p50 == max == block
+
+    for job in ("terasort", "wordcount"):
+        shuffle = rows[(job, "shuffle")]
+        assert shuffle[5] > shuffle[4]  # p99 > p50 (skew)
+
+    assert rows[("terasort", "shuffle")][7] > rows[("wordcount", "shuffle")][7]

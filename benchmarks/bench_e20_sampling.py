@@ -1,0 +1,27 @@
+"""E20 — capture sampling (1-in-N) vs model-input fidelity.
+
+Shape claims: rescaled volume estimates stay essentially unbiased at
+every sampling rate (bulk flows always leave samples), while flow
+survival collapses well below 1 — so sampled captures support volume
+laws but not flow-count/marginal models.
+"""
+
+from benchmarks.conftest import run_experiment
+from repro.experiments import figures
+
+
+def test_e20_sampled_capture(benchmark):
+    (table,) = run_experiment(benchmark, figures.e20_sampled_capture)
+    rows = {row[0]: row for row in table.rows}
+
+    full = rows["full (1:1)"]
+    for label in ("1:8", "1:64", "1:512"):
+        sampled = rows[label]
+        # Volume estimator stays within a few percent.
+        assert sampled[4] < 0.1
+        # Flow population is not recoverable.
+        assert sampled[2] < 0.8
+        assert sampled[1] < full[1]
+
+    # Survival never improves as sampling gets coarser.
+    assert rows["1:512"][2] <= rows["1:8"][2] + 0.05

@@ -1,0 +1,69 @@
+"""Substrate performance micro-benchmarks.
+
+Unlike the E/A benches (which regenerate evaluation artefacts once),
+these measure the simulator's own throughput with real repetition —
+the cost a user pays per experiment: event-loop rate, max-min rate
+recomputation, and a full end-to-end job simulation.
+"""
+
+from repro.cluster.config import ClusterSpec, HadoopConfig
+from repro.cluster.topology import build_topology
+from repro.cluster.units import MB
+from repro.jobs import make_job
+from repro.mapreduce.cluster import HadoopCluster
+from repro.net.fairshare import max_min_rates
+from repro.simkit import Simulator
+
+
+def test_perf_event_loop(benchmark):
+    """Raw event throughput: 10k timer events through the heap."""
+
+    def drive():
+        sim = Simulator()
+        count = [0]
+        for i in range(10_000):
+            sim.schedule(i * 0.001, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        return count[0]
+
+    assert benchmark(drive) == 10_000
+
+
+def test_perf_max_min_allocation(benchmark):
+    """One water-filling pass over 200 flows on a 64-link fabric."""
+    links = [f"l{i}" for i in range(64)]
+    capacities = {link: 1e9 for link in links}
+    flow_links = {f"f{i}": [links[i % 64], links[(i * 7 + 3) % 64]]
+                  for i in range(200)}
+
+    rates = benchmark(max_min_rates, flow_links, capacities)
+    assert len(rates) == 200
+
+
+def test_perf_full_job_simulation(benchmark):
+    """A complete 0.5 GiB terasort capture on 8 nodes, end to end."""
+
+    def run_job():
+        cluster = HadoopCluster(
+            ClusterSpec(num_nodes=8, hosts_per_rack=4),
+            HadoopConfig(block_size=32 * MB, num_reducers=4), seed=1)
+        results, traces = cluster.run(
+            [make_job("terasort", input_gb=0.5, job_id="perf")])
+        return traces[0].flow_count()
+
+    flows = benchmark(run_job)
+    assert flows > 100
+
+
+def test_perf_topology_routing(benchmark):
+    """Path resolution over a 32-host leaf-spine with cold caches."""
+
+    def route():
+        topo = build_topology("leafspine", num_hosts=32, hosts_per_rack=8)
+        hops = 0
+        for src in topo.hosts[:8]:
+            for dst in topo.hosts[24:]:
+                hops += len(topo.path(src, dst))
+        return hops
+
+    assert benchmark(route) > 0

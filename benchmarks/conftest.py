@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one evaluation artefact (table or
+figure) from DESIGN.md's E/A index: it re-runs the underlying capture
+campaign from scratch (the process-local capture cache is cleared
+first so timings are honest), prints the regenerated rows, and asserts
+the qualitative claim the paper's artefact makes (who wins, what
+scales, where the crossover sits).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, render_table
+from repro.experiments.campaigns import clear_cache
+
+
+def run_experiment(benchmark, experiment, **kwargs):
+    """Benchmark one experiment end-to-end and print its tables."""
+    def fresh():
+        clear_cache()
+        return experiment(**kwargs)
+
+    tables = benchmark.pedantic(fresh, rounds=1, iterations=1)
+    for table in tables:
+        print("\n" + render_table(table))
+    assert tables and all(isinstance(table, Table) for table in tables)
+    return tables
+
+
+def column(table, name):
+    return table.column(name)

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""A full capture campaign: the paper's experiment grid end-to-end.
+
+Runs every job kind in the HiBench-style mix across an input-size
+sweep, saves the captures as JSONL trace files, fits one traffic model
+per job kind and saves the models as JSON — the artefacts a Keddah user
+ships to their network-simulation colleagues.
+
+Run:  python examples/capture_campaign.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import fit_job_model, run_capture_campaign
+from repro.capture.records import save_traces
+from repro.cluster.config import HadoopConfig
+from repro.cluster.units import MB
+
+JOBS = ["terasort", "wordcount", "grep", "pagerank", "kmeans"]
+SIZES_GB = [0.25, 0.5, 1.0]
+
+
+def main(output_dir: str = "keddah-campaign") -> None:
+    output = Path(output_dir)
+    trace_dir = output / "traces"
+    model_dir = output / "models"
+    model_dir.mkdir(parents=True, exist_ok=True)
+    config = HadoopConfig(block_size=32 * MB, num_reducers=4)
+
+    for job in JOBS:
+        print(f"[{job}] capturing {len(SIZES_GB)} input sizes ...", flush=True)
+        traces = run_capture_campaign(job, SIZES_GB, nodes=8, seed=42,
+                                      config=config)
+        paths = save_traces(traces, trace_dir / job)
+        print(f"[{job}]   {len(paths)} traces -> {trace_dir / job}")
+
+        model = fit_job_model(traces)
+        model_path = model_dir / f"{job}.json"
+        model.to_json(model_path)
+        summary = ", ".join(
+            f"{name}:{component.size_dist.family}"
+            for name, component in sorted(model.components.items()))
+        print(f"[{job}]   model -> {model_path}  ({summary})")
+
+    print(f"\ncampaign complete under {output}/")
+    print("feed the models to `keddah generate` or examples/ns3_export.py")
+
+
+if __name__ == "__main__":
+    main(*sys.argv[1:2])

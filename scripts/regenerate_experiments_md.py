@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate the recorded-output section of EXPERIMENTS.md.
+
+The scorecard header is maintained by hand (it interprets the results);
+the recorded output below it is machine-generated from a fresh run of
+every experiment.  Run from the repository root:
+
+    python scripts/regenerate_experiments_md.py
+"""
+
+from pathlib import Path
+
+from repro.experiments.report import generate_report
+
+MARKER = "## Recorded output (seed 42 campaign)"
+
+
+def main() -> None:
+    path = Path(__file__).resolve().parent.parent / "EXPERIMENTS.md"
+    text = path.read_text(encoding="utf-8")
+    if MARKER not in text:
+        raise SystemExit(f"{path} is missing the marker {MARKER!r}")
+    head = text.split(MARKER)[0]
+
+    body = generate_report(title="ignored")
+    lines = []
+    for line in body.splitlines():
+        if line.startswith("# "):
+            continue
+        lines.append(line.replace("## ", "### ", 1)
+                     if line.startswith("## ") else line)
+    rendered = "\n".join(lines).strip()
+
+    path.write_text(head + MARKER + "\n\n" + rendered + "\n",
+                    encoding="utf-8")
+    print(f"rewrote {path} ({len(rendered.splitlines())} generated lines)")
+
+
+if __name__ == "__main__":
+    main()

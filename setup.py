@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment has no ``wheel`` package, so PEP 660 editable installs
+(``pip install -e .`` via pyproject only) fail with ``invalid command
+'bdist_wheel'``.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` take the classic ``setup.py develop`` path.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""Keddah: capturing, modelling and reproducing Hadoop network behaviour.
+
+A reproduction of the toolchain from *Keddah: Capturing Hadoop Network
+Behaviour* (Deng, Tyson, Cuadrado, Uhlig — ICDCS 2017).
+
+The package is organised around the paper's three-stage pipeline:
+
+1. **Capture** — run MapReduce jobs on a simulated Hadoop cluster
+   (:mod:`repro.hdfs`, :mod:`repro.yarn`, :mod:`repro.mapreduce` over the
+   flow-level network simulator :mod:`repro.net`), and collect per-flow
+   records classified into Hadoop traffic components
+   (:mod:`repro.capture`).
+2. **Model** — fit per-component statistical models of flow counts,
+   sizes and arrival processes (:mod:`repro.modeling`).
+3. **Reproduce** — sample synthetic traffic from those models and
+   replay/export it for network simulators (:mod:`repro.generation`).
+
+The convenience entry points (``run_capture``, ``fit_job_model``,
+``generate_trace``, ``replay_trace``) live in :mod:`repro.api` and are
+re-exported lazily here so that importing a single subsystem stays
+cheap.
+"""
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+_API_EXPORTS = {
+    "run_capture": "repro.api",
+    "run_capture_campaign": "repro.api",
+    "fit_job_model": "repro.api",
+    "generate_trace": "repro.api",
+    "replay_trace": "repro.api",
+    "ClusterSpec": "repro.cluster.config",
+    "HadoopConfig": "repro.cluster.config",
+    "FlowRecord": "repro.capture.records",
+    "JobTrace": "repro.capture.records",
+    "TrafficComponent": "repro.capture.records",
+    "ComponentModel": "repro.modeling.model",
+    "JobTrafficModel": "repro.modeling.model",
+}
+
+__all__ = sorted(_API_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily resolve the public API (PEP 562)."""
+    module_name = _API_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value

@@ -1,0 +1,102 @@
+"""Captured-vs-synthetic validation (the toolchain's fidelity check).
+
+For each traffic component present in either trace, compare:
+
+* flow-size populations (two-sample KS),
+* inter-arrival populations (two-sample KS),
+* total volume and flow count (relative errors).
+
+This is the E10 experiment's engine: a faithful generator keeps the KS
+distances small and the count/volume errors near zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.capture.records import JobTrace, TrafficComponent
+from repro.modeling.ks import KsResult, ks_two_sample
+
+
+@dataclass
+class ComponentComparison:
+    """One component's captured-vs-synthetic scores."""
+
+    component: str
+    captured_flows: int
+    synthetic_flows: int
+    captured_bytes: float
+    synthetic_bytes: float
+    size_ks: Optional[KsResult] = None
+    interarrival_ks: Optional[KsResult] = None
+
+    @property
+    def count_error(self) -> float:
+        """Relative flow-count error (synthetic vs captured)."""
+        if self.captured_flows == 0:
+            return 0.0 if self.synthetic_flows == 0 else float("inf")
+        return abs(self.synthetic_flows - self.captured_flows) / self.captured_flows
+
+    @property
+    def volume_error(self) -> float:
+        if self.captured_bytes == 0:
+            return 0.0 if self.synthetic_bytes == 0 else float("inf")
+        return abs(self.synthetic_bytes - self.captured_bytes) / self.captured_bytes
+
+
+def compare_traces(captured: JobTrace, synthetic: JobTrace,
+                   components: Optional[List[str]] = None,
+                   ) -> Dict[str, ComponentComparison]:
+    """Component-wise comparison of two traces."""
+    if components is None:
+        components = sorted(set(captured.components_present())
+                            | set(synthetic.components_present()))
+    results: Dict[str, ComponentComparison] = {}
+    for component in components:
+        cap_sizes = captured.flow_sizes(component)
+        syn_sizes = synthetic.flow_sizes(component)
+        comparison = ComponentComparison(
+            component=component,
+            captured_flows=len(cap_sizes),
+            synthetic_flows=len(syn_sizes),
+            captured_bytes=sum(cap_sizes),
+            synthetic_bytes=sum(syn_sizes),
+        )
+        if cap_sizes and syn_sizes:
+            comparison.size_ks = ks_two_sample(cap_sizes, syn_sizes)
+            cap_gaps = captured.interarrivals(component)
+            syn_gaps = synthetic.interarrivals(component)
+            if cap_gaps and syn_gaps:
+                comparison.interarrival_ks = ks_two_sample(cap_gaps, syn_gaps)
+        results[component] = comparison
+    return results
+
+
+@dataclass
+class ValidationSummary:
+    """Aggregate fidelity scores over all data components."""
+
+    mean_size_ks: float
+    mean_count_error: float
+    mean_volume_error: float
+    components: Dict[str, ComponentComparison] = field(default_factory=dict)
+
+
+def validation_summary(captured: JobTrace, synthetic: JobTrace) -> ValidationSummary:
+    """Fidelity over the three data-plane components."""
+    data_components = [c.value for c in TrafficComponent.data_components()]
+    comparisons = compare_traces(captured, synthetic, components=data_components)
+    active = [c for c in comparisons.values()
+              if c.captured_flows > 0 or c.synthetic_flows > 0]
+    size_ks = [c.size_ks.statistic for c in active if c.size_ks is not None]
+    count_errors = [c.count_error for c in active if c.count_error != float("inf")]
+    volume_errors = [c.volume_error for c in active if c.volume_error != float("inf")]
+    return ValidationSummary(
+        mean_size_ks=sum(size_ks) / len(size_ks) if size_ks else 0.0,
+        mean_count_error=(sum(count_errors) / len(count_errors)
+                          if count_errors else 0.0),
+        mean_volume_error=(sum(volume_errors) / len(volume_errors)
+                           if volume_errors else 0.0),
+        components=comparisons,
+    )

@@ -1,0 +1,78 @@
+"""Per-host traffic concentration (hotspot) analysis.
+
+Hadoop traffic is rarely uniform across hosts: reducers concentrate
+shuffle ingress, popular replicas concentrate read egress, and a single
+hot host can bottleneck a job that looks fine in aggregate.  This
+module decomposes a trace by endpoint and quantifies the imbalance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.capture.records import JobTrace
+
+
+def per_host_traffic(trace: JobTrace,
+                     component: Optional[str] = None) -> Dict[str, Dict[str, float]]:
+    """Bytes sent/received (and flow counts) per host."""
+    flows = trace.flows if component is None else trace.component(component)
+    stats: Dict[str, Dict[str, float]] = {}
+
+    def entry(host: str) -> Dict[str, float]:
+        return stats.setdefault(host, {"tx_bytes": 0.0, "rx_bytes": 0.0,
+                                       "tx_flows": 0.0, "rx_flows": 0.0})
+
+    for flow in flows:
+        sender = entry(flow.src)
+        sender["tx_bytes"] += flow.size
+        sender["tx_flows"] += 1
+        receiver = entry(flow.dst)
+        receiver["rx_bytes"] += flow.size
+        receiver["rx_flows"] += 1
+    return stats
+
+
+def imbalance_factor(trace: JobTrace, direction: str = "rx",
+                     component: Optional[str] = None) -> float:
+    """Max-over-mean of per-host bytes (1.0 = perfectly even).
+
+    ``direction`` is ``"rx"`` or ``"tx"``.  Returns 0 for empty traces.
+    """
+    if direction not in ("rx", "tx"):
+        raise ValueError(f"direction must be 'rx' or 'tx', got {direction!r}")
+    stats = per_host_traffic(trace, component)
+    if not stats:
+        return 0.0
+    key = f"{direction}_bytes"
+    values = np.array([host[key] for host in stats.values()])
+    mean = values.mean()
+    if mean <= 0:
+        return 0.0
+    return float(values.max() / mean)
+
+
+def hotspot_table(trace: JobTrace, component: Optional[str] = None,
+                  top: int = 10) -> Table:
+    """The top-N hosts by received bytes, with their send side."""
+    stats = per_host_traffic(trace, component)
+    mib = 1024.0 * 1024.0
+    scope = component or "all components"
+    table = Table(
+        title=f"traffic hotspots ({scope}): {trace.meta.job_id}",
+        headers=["host", "rx MiB", "rx flows", "tx MiB", "tx flows"])
+    ranked = sorted(stats.items(), key=lambda item: -item[1]["rx_bytes"])
+    for host, values in ranked[:top]:
+        table.add_row(host,
+                      round(values["rx_bytes"] / mib, 2),
+                      int(values["rx_flows"]),
+                      round(values["tx_bytes"] / mib, 2),
+                      int(values["tx_flows"]))
+    table.notes.append(
+        f"rx imbalance {imbalance_factor(trace, 'rx', component):.2f}x, "
+        f"tx imbalance {imbalance_factor(trace, 'tx', component):.2f}x "
+        "(max over mean)")
+    return table

@@ -1,0 +1,69 @@
+"""Traffic matrices: who talks to whom, at host and rack granularity.
+
+The demand matrix is what a topology designer actually consumes from a
+traffic study: rack-to-rack volume determines bisection provisioning,
+host-to-host sparsity determines whether ECMP spreads load.  This
+module builds both from a trace and renders them as tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.tables import Table
+from repro.capture.records import JobTrace
+
+
+def host_matrix(trace: JobTrace,
+                component: Optional[str] = None) -> Dict[Tuple[str, str], float]:
+    """Bytes per (src host, dst host) pair."""
+    flows = trace.flows if component is None else trace.component(component)
+    matrix: Dict[Tuple[str, str], float] = {}
+    for flow in flows:
+        key = (flow.src, flow.dst)
+        matrix[key] = matrix.get(key, 0.0) + flow.size
+    return matrix
+
+
+def rack_matrix(trace: JobTrace,
+                component: Optional[str] = None) -> Dict[Tuple[int, int], float]:
+    """Bytes per (src rack, dst rack) pair."""
+    flows = trace.flows if component is None else trace.component(component)
+    matrix: Dict[Tuple[int, int], float] = {}
+    for flow in flows:
+        key = (flow.src_rack, flow.dst_rack)
+        matrix[key] = matrix.get(key, 0.0) + flow.size
+    return matrix
+
+
+def matrix_sparsity(matrix: Dict[Tuple, float], endpoints: int) -> float:
+    """Fraction of possible ordered pairs carrying any traffic."""
+    if endpoints < 2:
+        return 0.0
+    possible = endpoints * (endpoints - 1)
+    active = sum(1 for (src, dst), volume in matrix.items()
+                 if src != dst and volume > 0)
+    return active / possible
+
+
+def rack_matrix_table(trace: JobTrace,
+                      component: Optional[str] = None) -> Table:
+    """The rack-to-rack demand matrix as a table (MiB cells)."""
+    matrix = rack_matrix(trace, component)
+    racks = sorted({rack for pair in matrix for rack in pair})
+    mib = 1024.0 * 1024.0
+    scope = component or "all components"
+    table = Table(
+        title=f"rack traffic matrix ({scope}): {trace.meta.job_id}",
+        headers=["src\\dst"] + [f"rack {rack}" for rack in racks])
+    for src in racks:
+        row: List = [f"rack {src}"]
+        for dst in racks:
+            row.append(round(matrix.get((src, dst), 0.0) / mib, 1))
+        table.add_row(*row)
+    total = sum(matrix.values())
+    cross = sum(v for (s, d), v in matrix.items() if s != d)
+    if total > 0:
+        table.notes.append(f"cross-rack share {cross / total:.1%} of "
+                           f"{total / mib:.0f} MiB")
+    return table

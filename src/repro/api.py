@@ -1,0 +1,70 @@
+"""Top-level convenience API: the three Keddah stages in one import.
+
+    from repro import run_capture, fit_job_model, generate_trace, replay_trace
+
+    traces = [run_capture("terasort", input_gb=gb, nodes=16, seed=1)
+              for gb in (1.0, 2.0, 5.0)]
+    model = fit_job_model(traces)
+    synthetic = generate_trace(model, input_gb=10.0, seed=2)
+    report = replay_trace(synthetic)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.capture.records import JobTrace
+from repro.cluster.config import ClusterSpec, HadoopConfig
+from repro.generation.generator import generate_trace
+from repro.generation.replay import replay_trace
+from repro.jobs import make_job
+from repro.mapreduce.cluster import HadoopCluster
+from repro.modeling.model import fit_job_model
+
+__all__ = [
+    "fit_job_model",
+    "generate_trace",
+    "replay_trace",
+    "run_capture",
+    "run_capture_campaign",
+]
+
+
+def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
+                config: Optional[HadoopConfig] = None,
+                cluster_spec: Optional[ClusterSpec] = None,
+                hosts_per_rack: int = 4,
+                **job_kwargs) -> JobTrace:
+    """Run one job on a fresh simulated cluster; return its capture.
+
+    ``job`` is a catalog kind (``terasort``, ``wordcount``, ...);
+    ``job_kwargs`` pass through to :func:`repro.jobs.make_job` (e.g.
+    ``num_reducers=32`` or ``iterations=5``).  ``cluster_spec`` wins
+    over the ``nodes``/``hosts_per_rack`` shortcuts when provided.
+    """
+    spec = cluster_spec or ClusterSpec(num_nodes=nodes,
+                                       hosts_per_rack=hosts_per_rack)
+    cluster = HadoopCluster(spec, config or HadoopConfig(), seed=seed)
+    job_spec = make_job(job, input_gb=input_gb, **job_kwargs)
+    _, traces = cluster.run([job_spec])
+    return traces[0]
+
+
+def run_capture_campaign(job: str, input_sizes_gb: Sequence[float],
+                         nodes: int = 16, seed: int = 0, repeats: int = 1,
+                         config: Optional[HadoopConfig] = None,
+                         **job_kwargs) -> List[JobTrace]:
+    """Capture one job kind across input sizes (the paper's sweep unit).
+
+    Each (size, repeat) pair runs on a fresh cluster with a derived
+    seed, so runs are independent and the whole campaign is
+    reproducible from ``seed``.
+    """
+    traces = []
+    for size_index, input_gb in enumerate(input_sizes_gb):
+        for repeat in range(repeats):
+            traces.append(run_capture(
+                job, input_gb, nodes=nodes,
+                seed=seed * 10_007 + size_index * 101 + repeat,
+                config=config, **job_kwargs))
+    return traces

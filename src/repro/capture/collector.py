@@ -1,0 +1,79 @@
+"""Flow collector: observes the network and materialises job traces.
+
+Plays the role of the cluster-wide tcpdump in the paper's toolchain.
+The collector subscribes to a :class:`~repro.net.network.FlowNetwork`
+and converts every completed non-local flow into a
+:class:`~repro.capture.records.FlowRecord`.  Host-local transfers are
+skipped — a NIC capture never sees loopback disk I/O.
+
+Per-job traces are cut the way a capture window would be: flows
+carrying the job's id, plus unattributed control-plane flows whose
+lifetime overlaps the job's execution window.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.capture.records import CaptureMeta, FlowRecord, JobTrace, TrafficComponent
+from repro.net.flow import Flow
+from repro.net.network import FlowNetwork
+
+
+class FlowCollector:
+    """Accumulates flow records from a live network simulation."""
+
+    def __init__(self, network: FlowNetwork, include_local: bool = False):
+        self.network = network
+        self.include_local = include_local
+        self.records: List[FlowRecord] = []
+        network.add_listener(self._on_flow_complete)
+
+    def _on_flow_complete(self, flow: Flow) -> None:
+        if flow.local and not self.include_local:
+            return
+        metadata = flow.metadata
+        self.records.append(FlowRecord(
+            src=flow.src.name,
+            dst=flow.dst.name,
+            src_rack=flow.src.rack,
+            dst_rack=flow.dst.rack,
+            src_port=int(metadata.get("src_port", 0)),
+            dst_port=int(metadata.get("dst_port", 0)),
+            size=flow.size,
+            start=flow.start_time,
+            end=flow.end_time if flow.end_time is not None else flow.start_time,
+            component=str(metadata.get("component", TrafficComponent.OTHER.value)),
+            service=str(metadata.get("service", "")),
+            job_id=str(metadata.get("job_id", "")),
+            flow_id=flow.flow_id,
+        ))
+
+    # -- trace extraction --------------------------------------------------------
+
+    def flows_for_job(self, job_id: str, window_start: float,
+                      window_end: float) -> List[FlowRecord]:
+        """The job's own flows plus overlapping shared control traffic."""
+        selected = []
+        for record in self.records:
+            if record.job_id == job_id:
+                selected.append(record)
+            elif (not record.job_id
+                  and record.component == TrafficComponent.CONTROL.value
+                  and record.start < window_end and record.end >= window_start):
+                selected.append(record)
+        return selected
+
+    def trace_for_job(self, meta: CaptureMeta,
+                      extra_meta: Optional[Dict[str, Any]] = None) -> JobTrace:
+        """Cut the capture into one job's :class:`JobTrace`."""
+        if extra_meta:
+            meta.extra.update(extra_meta)
+        flows = self.flows_for_job(meta.job_id, meta.submit_time, meta.finish_time)
+        return JobTrace(meta=meta, flows=flows)
+
+    def total_bytes(self) -> float:
+        return sum(record.size for record in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()

@@ -1,0 +1,118 @@
+"""Merging captures from multiple vantage points.
+
+The paper's capture stage runs tcpdump on *every* cluster NIC, so each
+flow is observed twice — once at the sender, once at the receiver —
+and each host's clock drifts a little.  Before modelling, the captures
+must be merged:
+
+1. :func:`estimate_clock_skew` — per-vantage-point offsets relative to
+   a reference, estimated from the start-time differences of flows both
+   points observed (the sender's observation leads by ~one-way delay,
+   which this treats as part of the skew — fine at capture resolution);
+2. :func:`apply_clock_skew` — shift one capture's timeline;
+3. :func:`deduplicate_flows` — collapse dual observations of the same
+   connection, preferring the sender-side record (its byte count is
+   complete even when the receiver trace was truncated);
+4. :func:`merge_captures` — the composed pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.records import FlowRecord
+
+_FlowKey = Tuple[str, str, int, int]
+
+
+def _key(flow: FlowRecord) -> _FlowKey:
+    return (flow.src, flow.dst, flow.src_port, flow.dst_port)
+
+
+def estimate_clock_skew(reference: Iterable[FlowRecord],
+                        other: Iterable[FlowRecord]) -> float:
+    """Median start-time offset of ``other`` relative to ``reference``.
+
+    Only flows observed by both vantage points (same 5-tuple, nearest
+    start) contribute.  Returns 0.0 when there is no overlap.
+    """
+    reference_by_key: Dict[_FlowKey, List[float]] = {}
+    for flow in reference:
+        reference_by_key.setdefault(_key(flow), []).append(flow.start)
+    offsets = []
+    for flow in other:
+        starts = reference_by_key.get(_key(flow))
+        if not starts:
+            continue
+        nearest = min(starts, key=lambda s: abs(s - flow.start))
+        offsets.append(flow.start - nearest)
+    if not offsets:
+        return 0.0
+    return float(np.median(offsets))
+
+
+def apply_clock_skew(flows: Iterable[FlowRecord], offset: float) -> List[FlowRecord]:
+    """Return copies with ``offset`` subtracted from start/end."""
+    shifted = []
+    for flow in flows:
+        data = flow.to_dict()
+        data["start"] = flow.start - offset
+        data["end"] = flow.end - offset
+        shifted.append(FlowRecord.from_dict(data))
+    return shifted
+
+
+def deduplicate_flows(flows: Iterable[FlowRecord],
+                      window: float = 1.0) -> List[FlowRecord]:
+    """Collapse dual observations of one connection.
+
+    Two records are duplicates when they share a 5-tuple and start
+    within ``window`` seconds of each other.  The record with the larger
+    byte count wins (a truncated observation undercounts); ties keep
+    the earlier one.  Output is sorted by start time.
+    """
+    if window <= 0:
+        raise ValueError(f"window must be positive, got {window}")
+    by_key: Dict[_FlowKey, List[FlowRecord]] = {}
+    for flow in sorted(flows, key=lambda f: (f.start, f.flow_id)):
+        bucket = by_key.setdefault(_key(flow), [])
+        merged = False
+        for index, existing in enumerate(bucket):
+            if abs(existing.start - flow.start) <= window:
+                if flow.size > existing.size:
+                    bucket[index] = flow
+                merged = True
+                break
+        if not merged:
+            bucket.append(flow)
+    result = [flow for bucket in by_key.values() for flow in bucket]
+    result.sort(key=lambda f: (f.start, f.flow_id))
+    return result
+
+
+def merge_captures(captures: Mapping[str, Iterable[FlowRecord]],
+                   reference: Optional[str] = None,
+                   window: float = 1.0) -> List[FlowRecord]:
+    """Skew-correct every vantage point to ``reference`` and deduplicate.
+
+    ``captures`` maps vantage-point names (host names) to their flow
+    records; ``reference`` defaults to the lexicographically first
+    point.  Returns one merged, time-sorted flow list.
+    """
+    if not captures:
+        return []
+    names = sorted(captures)
+    reference_name = reference if reference is not None else names[0]
+    if reference_name not in captures:
+        raise KeyError(f"reference vantage point {reference_name!r} not in captures")
+    reference_flows = list(captures[reference_name])
+    merged: List[FlowRecord] = list(reference_flows)
+    for name in names:
+        if name == reference_name:
+            continue
+        flows = list(captures[name])
+        offset = estimate_clock_skew(reference_flows, flows)
+        merged.extend(apply_clock_skew(flows, offset))
+    return deduplicate_flows(merged, window=window)

@@ -1,0 +1,170 @@
+"""Pcap-like packet traces and packet→flow assembly.
+
+The real Keddah toolchain starts from tcpdump output.  We keep that
+code path honest with a minimal packet-trace layer:
+
+* :class:`PacketRecord` — one packet (time, endpoints, ports, bytes),
+* :func:`write_packets` / :func:`read_packets` — a CSV codec standing
+  in for the pcap file format,
+* :func:`synthesize_packets` — explode a flow record into an MTU-sized
+  packet train spread over the flow's lifetime (used to round-trip the
+  pipeline in tests and examples),
+* :func:`assemble_flows` — the actual capture reduction: group packets
+  by 5-tuple, split on idle gaps, emit classified
+  :class:`~repro.capture.records.FlowRecord` objects.
+
+A flow round-tripped through ``synthesize_packets`` → ``assemble_flows``
+preserves its endpoints, byte count and (to packet quantisation) its
+timing, which the tests assert.
+"""
+
+from __future__ import annotations
+
+import csv
+import math
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.capture.classifier import classify_ports
+from repro.capture.records import FlowRecord
+
+DEFAULT_MTU = 1448  # TCP payload of a 1500-byte Ethernet MTU
+DEFAULT_IDLE_GAP = 60.0
+
+_CSV_FIELDS = ("time", "src", "dst", "src_port", "dst_port", "size")
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """One observed packet (payload bytes only, as Keddah counts them)."""
+
+    time: float
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"packet size must be >= 0, got {self.size}")
+
+
+def synthesize_packets(flow: FlowRecord, mtu: int = DEFAULT_MTU) -> List[PacketRecord]:
+    """Explode a flow into a uniform packet train over [start, end].
+
+    Zero-byte flows yield a single empty packet (the connection's
+    handshake footprint) so the flow remains visible in the capture.
+    """
+    if mtu <= 0:
+        raise ValueError(f"mtu must be positive, got {mtu}")
+    size = int(flow.size)
+    if size == 0:
+        return [PacketRecord(flow.start, flow.src, flow.dst,
+                             flow.src_port, flow.dst_port, 0)]
+    count = math.ceil(size / mtu)
+    packets = []
+    span = flow.duration
+    for index in range(count):
+        payload = mtu if index < count - 1 else size - mtu * (count - 1)
+        offset = span * index / count if count > 1 else 0.0
+        packets.append(PacketRecord(
+            time=flow.start + offset,
+            src=flow.src, dst=flow.dst,
+            src_port=flow.src_port, dst_port=flow.dst_port,
+            size=payload))
+    return packets
+
+
+def write_packets(packets: Iterable[PacketRecord], path: str | Path) -> None:
+    """Write packets as CSV (our stand-in for the pcap format)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_CSV_FIELDS)
+        for packet in packets:
+            writer.writerow([f"{packet.time:.9f}", packet.src, packet.dst,
+                             packet.src_port, packet.dst_port, packet.size])
+
+
+def read_packets(path: str | Path) -> List[PacketRecord]:
+    """Read a packet CSV written by :func:`write_packets`."""
+    path = Path(path)
+    packets = []
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ValueError(f"{path}: missing packet columns {sorted(missing)}")
+        for row in reader:
+            packets.append(PacketRecord(
+                time=float(row["time"]), src=row["src"], dst=row["dst"],
+                src_port=int(row["src_port"]), dst_port=int(row["dst_port"]),
+                size=int(row["size"])))
+    return packets
+
+
+def assemble_flows(packets: Iterable[PacketRecord],
+                   rack_of: Optional[Mapping[str, int]] = None,
+                   idle_gap: float = DEFAULT_IDLE_GAP) -> List[FlowRecord]:
+    """Reduce packets to classified flow records.
+
+    Packets sharing a (src, dst, src_port, dst_port) 5-tuple (protocol
+    implied) belong to one flow unless separated by more than
+    ``idle_gap`` seconds of silence, in which case a new flow starts —
+    the same heuristic tcpdump post-processors use for long captures.
+
+    ``rack_of`` maps host names to rack ids for the cross-rack fields;
+    hosts not present map to rack ``-1`` (unknown).
+    """
+    if idle_gap <= 0:
+        raise ValueError(f"idle_gap must be positive, got {idle_gap}")
+    rack_of = rack_of or {}
+    ordered = sorted(packets, key=lambda packet: packet.time)
+    open_flows: Dict[Tuple[str, str, int, int], _OpenFlow] = {}
+    finished: List[_OpenFlow] = []
+    for packet in ordered:
+        key = (packet.src, packet.dst, packet.src_port, packet.dst_port)
+        current = open_flows.get(key)
+        if current is not None and packet.time - current.last_time > idle_gap:
+            finished.append(current)
+            current = None
+        if current is None:
+            current = _OpenFlow(packet)
+            open_flows[key] = current
+        else:
+            current.add(packet)
+    finished.extend(open_flows.values())
+    finished.sort(key=lambda flow: (flow.first_time, flow.key))
+    return [flow.to_record(rack_of) for flow in finished]
+
+
+class _OpenFlow:
+    """Accumulator for one in-progress flow during assembly."""
+
+    __slots__ = ("key", "first_time", "last_time", "bytes", "packets")
+
+    def __init__(self, packet: PacketRecord):
+        self.key = (packet.src, packet.dst, packet.src_port, packet.dst_port)
+        self.first_time = packet.time
+        self.last_time = packet.time
+        self.bytes = packet.size
+        self.packets = 1
+
+    def add(self, packet: PacketRecord) -> None:
+        self.last_time = max(self.last_time, packet.time)
+        self.bytes += packet.size
+        self.packets += 1
+
+    def to_record(self, rack_of: Mapping[str, int]) -> FlowRecord:
+        src, dst, src_port, dst_port = self.key
+        component = classify_ports(src_port, dst_port)
+        return FlowRecord(
+            src=src, dst=dst,
+            src_rack=rack_of.get(src, -1), dst_rack=rack_of.get(dst, -1),
+            src_port=src_port, dst_port=dst_port,
+            size=float(self.bytes),
+            start=self.first_time, end=self.last_time,
+            component=component.value,
+            service="assembled")

@@ -1,0 +1,156 @@
+"""Binary libpcap file I/O: real interop with tcpdump/Wireshark.
+
+The CSV packet codec (:mod:`repro.capture.pcap`) is convenient inside
+the toolchain, but the lingua franca of packet captures is the libpcap
+file format.  This module writes synthetic packet trains as genuine
+``.pcap`` files (Ethernet + IPv4 + TCP framing, microsecond timestamps)
+and reads them back — so simulated traffic can be opened in Wireshark,
+and tcpdump output (pre-reduced to TCP) can be ingested directly.
+
+Format notes:
+
+* global header: magic ``0xa1b2c3d4`` (big-endian byte order in file
+  chosen as little-endian native here), version 2.4, LINKTYPE_EN10MB;
+* each record: ts_sec, ts_usec, incl_len, orig_len + frame bytes;
+* host names are mapped to deterministic ``10.(h>>8).(h&255).1``
+  addresses on write and back to names via a side map on read (an
+  unknown address reads back as its dotted quad).
+
+Payload bytes beyond the TCP header are zero-filled; only ``snaplen``
+bytes per packet are stored (headers + nothing), with ``orig_len``
+carrying the true frame size — exactly how ``tcpdump -s 64`` captures
+look, and all Keddah needs.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.capture.pcap import PacketRecord
+from repro.simkit.rng import stable_hash
+
+PCAP_MAGIC = 0xA1B2C3D4
+PCAP_VERSION = (2, 4)
+LINKTYPE_ETHERNET = 1
+SNAPLEN = 64  # headers only, like `tcpdump -s 64`
+
+_ETH_LEN = 14
+_IP_LEN = 20
+_TCP_LEN = 20
+_HEADERS_LEN = _ETH_LEN + _IP_LEN + _TCP_LEN
+
+
+def host_to_ip(name: str) -> str:
+    """Deterministic 10.x.y.1 address for a host name."""
+    digest = stable_hash(name)
+    return f"10.{(digest >> 8) & 255}.{digest & 255}.1"
+
+
+def _ip_bytes(ip: str) -> bytes:
+    return bytes(int(part) for part in ip.split("."))
+
+
+def _mac_bytes(ip: str) -> bytes:
+    return b"\x02\x00" + _ip_bytes(ip)
+
+
+def _frame(packet: PacketRecord, src_ip: str, dst_ip: str) -> bytes:
+    """Ethernet+IPv4+TCP headers for one packet (no payload stored)."""
+    ethernet = _mac_bytes(dst_ip) + _mac_bytes(src_ip) + struct.pack(">H", 0x0800)
+    total_len = _IP_LEN + _TCP_LEN + packet.size
+    ip_header = struct.pack(
+        ">BBHHHBBH4s4s",
+        0x45, 0, min(total_len, 0xFFFF), 0, 0, 64, 6, 0,
+        _ip_bytes(src_ip), _ip_bytes(dst_ip))
+    tcp_header = struct.pack(
+        ">HHIIBBHHH",
+        packet.src_port & 0xFFFF, packet.dst_port & 0xFFFF,
+        0, 0, (5 << 4), 0x18, 0xFFFF, 0, 0)  # PSH|ACK
+    return ethernet + ip_header + tcp_header
+
+
+def write_pcap(packets: Iterable[PacketRecord], path: str | Path) -> int:
+    """Write packets as a libpcap file.  Returns the packet count."""
+    path = Path(path)
+    count = 0
+    with path.open("wb") as handle:
+        handle.write(struct.pack(
+            "<IHHiIII", PCAP_MAGIC, PCAP_VERSION[0], PCAP_VERSION[1],
+            0, 0, SNAPLEN, LINKTYPE_ETHERNET))
+        for packet in sorted(packets, key=lambda p: p.time):
+            src_ip = host_to_ip(packet.src)
+            dst_ip = host_to_ip(packet.dst)
+            frame = _frame(packet, src_ip, dst_ip)
+            orig_len = _HEADERS_LEN + packet.size
+            incl = frame[:SNAPLEN]
+            seconds = int(packet.time)
+            micros = int(round((packet.time - seconds) * 1e6))
+            if micros >= 1_000_000:
+                seconds += 1
+                micros -= 1_000_000
+            handle.write(struct.pack("<IIII", seconds, micros,
+                                     len(incl), orig_len))
+            handle.write(incl)
+            count += 1
+    return count
+
+
+def read_pcap(path: str | Path,
+              name_of: Optional[Dict[str, str]] = None) -> List[PacketRecord]:
+    """Read a libpcap file written by :func:`write_pcap` (or tcpdump).
+
+    Only Ethernet/IPv4/TCP records are returned; other frames are
+    skipped.  Payload size is recovered from ``orig_len`` minus the
+    header overhead.  ``name_of`` maps dotted-quad addresses back to
+    host names (see :func:`ip_name_map`).
+    """
+    path = Path(path)
+    name_of = name_of or {}
+    data = path.read_bytes()
+    if len(data) < 24:
+        raise ValueError(f"{path}: not a pcap file (too short)")
+    magic = struct.unpack("<I", data[:4])[0]
+    if magic == PCAP_MAGIC:
+        endian = "<"
+    elif magic == struct.unpack(">I", struct.pack("<I", PCAP_MAGIC))[0]:
+        endian = ">"
+    else:
+        raise ValueError(f"{path}: bad pcap magic {magic:#x}")
+    linktype = struct.unpack(endian + "I", data[20:24])[0]
+    if linktype != LINKTYPE_ETHERNET:
+        raise ValueError(f"{path}: unsupported linktype {linktype}")
+
+    packets: List[PacketRecord] = []
+    offset = 24
+    while offset + 16 <= len(data):
+        seconds, micros, incl_len, orig_len = struct.unpack(
+            endian + "IIII", data[offset:offset + 16])
+        offset += 16
+        frame = data[offset:offset + incl_len]
+        offset += incl_len
+        if len(frame) < _HEADERS_LEN:
+            continue
+        ethertype = struct.unpack(">H", frame[12:14])[0]
+        if ethertype != 0x0800:
+            continue
+        protocol = frame[_ETH_LEN + 9]
+        if protocol != 6:  # TCP only
+            continue
+        src_ip = ".".join(str(b) for b in frame[_ETH_LEN + 12:_ETH_LEN + 16])
+        dst_ip = ".".join(str(b) for b in frame[_ETH_LEN + 16:_ETH_LEN + 20])
+        src_port, dst_port = struct.unpack(
+            ">HH", frame[_ETH_LEN + _IP_LEN:_ETH_LEN + _IP_LEN + 4])
+        payload = max(orig_len - _HEADERS_LEN, 0)
+        packets.append(PacketRecord(
+            time=seconds + micros / 1e6,
+            src=name_of.get(src_ip, src_ip),
+            dst=name_of.get(dst_ip, dst_ip),
+            src_port=src_port, dst_port=dst_port, size=payload))
+    return packets
+
+
+def ip_name_map(host_names: Iterable[str]) -> Dict[str, str]:
+    """The IP→name map needed to read back a write of these hosts."""
+    return {host_to_ip(name): name for name in host_names}

@@ -1,0 +1,426 @@
+"""``keddah`` — the command-line face of the toolchain.
+
+Subcommands mirror the pipeline stages::
+
+    keddah capture  --job terasort --input-gb 1.0 --nodes 8 -o trace.jsonl
+    keddah fit      traces/*.jsonl -o model.json
+    keddah generate --model model.json --input-gb 4.0 -o synthetic.jsonl
+    keddah replay   trace.jsonl
+    keddah export   trace.jsonl --format ns3 -o replay.cc
+    keddah report   trace.jsonl
+
+Every command reads/writes the JSONL trace and JSON model formats, so
+stages can be mixed with externally produced data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.analysis.breakdown import component_breakdown
+from repro.analysis.tables import Table, render_table
+from repro.api import run_capture
+from repro.capture.records import JobTrace
+from repro.cluster.config import HadoopConfig
+from repro.cluster.units import MB
+from repro.generation.export import to_flow_schedule_csv, to_json, to_ns3_script, to_omnet_ini
+from repro.generation.generator import generate_trace
+from repro.generation.replay import replay_trace
+from repro.jobs import job_catalog
+from repro.modeling.model import JobTrafficModel, fit_job_model
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="keddah",
+        description="Capture, model and reproduce Hadoop network traffic.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    capture = sub.add_parser("capture", help="run a job and capture its flows")
+    capture.add_argument("--job", required=True, choices=sorted(job_catalog()))
+    capture.add_argument("--input-gb", type=float, default=1.0)
+    capture.add_argument("--nodes", type=int, default=8)
+    capture.add_argument("--hosts-per-rack", type=int, default=4)
+    capture.add_argument("--seed", type=int, default=0)
+    capture.add_argument("--block-mb", type=int, default=32)
+    capture.add_argument("--reducers", type=int, default=4)
+    capture.add_argument("--replication", type=int, default=3)
+    capture.add_argument("--scheduler", default="fifo",
+                         choices=["fifo", "fair", "capacity", "drf"])
+    capture.add_argument("-o", "--output", required=True,
+                         help="trace output path (.jsonl)")
+
+    fit = sub.add_parser("fit", help="fit a traffic model from traces")
+    fit.add_argument("traces", nargs="+", help="capture .jsonl files")
+    fit.add_argument("-o", "--output", required=True,
+                     help="model output path (.json), or a directory "
+                          "with --bundle")
+    fit.add_argument("--bundle", action="store_true",
+                     help="traces mix job kinds: fit one model per kind "
+                          "into the output directory")
+
+    generate = sub.add_parser("generate", help="sample synthetic traffic")
+    generate.add_argument("--model", required=True)
+    generate.add_argument("--input-gb", type=float, required=True)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True,
+                          help="synthetic trace output path (.jsonl)")
+
+    replay = sub.add_parser("replay", help="replay a trace through the network")
+    replay.add_argument("trace")
+    replay.add_argument("--time-scale", type=float, default=1.0)
+
+    export = sub.add_parser("export", help="export a trace for a simulator")
+    export.add_argument("trace")
+    export.add_argument("--format",
+                        choices=["csv", "ns3", "omnet", "json", "pcap"],
+                        default="csv")
+    export.add_argument("-o", "--output", required=True)
+
+    report = sub.add_parser("report", help="print a trace's traffic breakdown")
+    report.add_argument("trace")
+    report.add_argument("--hotspots", action="store_true",
+                        help="also print per-host traffic concentration")
+    report.add_argument("--full", action="store_true",
+                        help="print everything: breakdown, hotspots, "
+                             "rack matrix and the traffic-over-time profile")
+
+    validate = sub.add_parser(
+        "validate", help="compare a synthetic trace against a capture")
+    validate.add_argument("captured")
+    validate.add_argument("synthetic")
+
+    inspect = sub.add_parser("inspect", help="summarise a fitted model")
+    inspect.add_argument("model", help="model JSON path")
+
+    diff = sub.add_parser("diff", help="compare two fitted models")
+    diff.add_argument("before", help="baseline model JSON")
+    diff.add_argument("after", help="changed model JSON")
+    diff.add_argument("--at-gb", type=float, default=1.0,
+                      help="input size the laws are evaluated at")
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate an evaluation artefact (E1..E15, A1..A4)")
+    experiment.add_argument("ids", nargs="+",
+                            help="experiment ids (e.g. e01 e07 a2) or 'all'")
+    experiment.add_argument("--markdown", default=None,
+                            help="also write a markdown report to this path")
+
+    workload = sub.add_parser(
+        "workload", help="generate a synthetic multi-job workload trace")
+    workload.add_argument("--models", required=True,
+                          help="directory of per-kind model JSON files")
+    workload.add_argument("--job", action="append", required=True,
+                          metavar="KIND:GB[:START_S]",
+                          help="one scheduled job (repeatable)")
+    workload.add_argument("--seed", type=int, default=0)
+    workload.add_argument("-o", "--output", required=True,
+                          help="workload trace output path (.jsonl)")
+
+    suite = sub.add_parser(
+        "suite", help="run a multi-job workload suite on the simulator")
+    suite.add_argument("--mix", default="micro",
+                       choices=["micro", "shuffle-heavy", "analytics"])
+    suite.add_argument("--count", type=int, default=6)
+    suite.add_argument("--arrivals", default="uniform:20",
+                       metavar="uniform:SPAN | poisson:RATE")
+    suite.add_argument("--nodes", type=int, default=8)
+    suite.add_argument("--scheduler", default="fifo",
+                       choices=["fifo", "fair", "capacity", "drf"])
+    suite.add_argument("--seed", type=int, default=0)
+    suite.add_argument("-o", "--output", default=None,
+                       help="optional directory for per-job trace files")
+    return parser
+
+
+def cmd_capture(args: argparse.Namespace) -> int:
+    config = HadoopConfig(block_size=args.block_mb * MB,
+                          num_reducers=args.reducers,
+                          replication=args.replication,
+                          scheduler=args.scheduler)
+    trace = run_capture(args.job, input_gb=args.input_gb, nodes=args.nodes,
+                        seed=args.seed, config=config,
+                        hosts_per_rack=args.hosts_per_rack)
+    trace.to_jsonl(args.output)
+    print(f"captured {trace.flow_count()} flows "
+          f"({trace.total_bytes() / MB:.1f} MiB) -> {args.output}")
+    return 0
+
+
+def cmd_fit(args: argparse.Namespace) -> int:
+    traces = [JobTrace.from_jsonl(path) for path in args.traces]
+    if args.bundle:
+        from repro.modeling.bundle import ModelBundle
+
+        bundle = ModelBundle.fit(traces)
+        paths = bundle.save(args.output)
+        print(f"fitted {len(bundle)} model(s) for {bundle.kinds()} "
+              f"-> {args.output} ({len(paths)} files)")
+        return 0
+    model = fit_job_model(traces)
+    model.to_json(args.output)
+    families = ", ".join(f"{name}={component.size_dist.family}"
+                         for name, component in sorted(model.components.items()))
+    print(f"fitted {model.kind} model from {len(traces)} trace(s): {families}")
+    print(f"model -> {args.output}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    model = JobTrafficModel.from_json(args.model)
+    trace = generate_trace(model, input_gb=args.input_gb, seed=args.seed)
+    trace.to_jsonl(args.output)
+    print(f"generated {trace.flow_count()} flows "
+          f"({trace.total_bytes() / MB:.1f} MiB) for {args.input_gb} GiB "
+          f"{model.kind} -> {args.output}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    trace = JobTrace.from_jsonl(args.trace)
+    report = replay_trace(trace, time_scale=args.time_scale)
+    table = Table(title=f"replay of {args.trace}",
+                  headers=["metric", "value"])
+    table.add_row("flows", report.flow_count)
+    table.add_row("bytes (MiB)", round(report.total_bytes / MB, 2))
+    table.add_row("makespan (s)", round(report.makespan, 2))
+    table.add_row("mean flow duration (s)", round(report.mean_flow_duration, 4))
+    table.add_row("mean link utilisation", round(report.mean_link_utilisation, 4))
+    table.add_row("peak link utilisation", round(report.peak_link_utilisation, 4))
+    print(render_table(table))
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    trace = JobTrace.from_jsonl(args.trace)
+    if args.format == "pcap":
+        from repro.capture.pcap import synthesize_packets
+        from repro.capture.pcapfile import write_pcap
+
+        packets = [packet for flow in trace.flows
+                   for packet in synthesize_packets(flow)]
+        count = write_pcap(packets, args.output)
+        print(f"exported {count} packets (pcap) -> {args.output}")
+        return 0
+    writers = {
+        "csv": to_flow_schedule_csv,
+        "ns3": to_ns3_script,
+        "omnet": to_omnet_ini,
+        "json": to_json,
+    }
+    count = writers[args.format](trace, args.output)
+    print(f"exported {count} flows ({args.format}) -> {args.output}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import figures
+
+    ids = sorted(figures.ALL_EXPERIMENTS) if "all" in args.ids else args.ids
+    unknown = [i for i in ids if i not in figures.ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment id(s): {', '.join(unknown)}; "
+              f"known: {', '.join(sorted(figures.ALL_EXPERIMENTS))}")
+        return 2
+    for experiment_id in ids:
+        for table in figures.ALL_EXPERIMENTS[experiment_id]():
+            print(render_table(table))
+            print()
+    if args.markdown:
+        from repro.experiments.report import write_report
+
+        path = write_report(args.markdown, ids)
+        print(f"markdown report -> {path}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.modeling.health import check_model
+    from repro.modeling.inspect import describe_model
+
+    model = JobTrafficModel.from_json(args.model)
+    for table in describe_model(model):
+        print(render_table(table))
+        print()
+    warnings = check_model(model)
+    if warnings:
+        print("health checks:")
+        for warning in warnings:
+            print(f"  {warning}")
+    else:
+        print("health checks: clean")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.modeling.diff import diff_table
+
+    before = JobTrafficModel.from_json(args.before)
+    after = JobTrafficModel.from_json(args.after)
+    if before.kind != after.kind:
+        print(f"models are for different job kinds: "
+              f"{before.kind!r} vs {after.kind!r}")
+        return 2
+    print(render_table(diff_table(before, after, at_gb=args.at_gb,
+                                  labels=(args.before, args.after))))
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    from repro.capture.records import save_traces
+    from repro.cluster.config import ClusterSpec
+    from repro.workloads import (
+        ANALYTICS_MIX,
+        MICRO_MIX,
+        SHUFFLE_HEAVY_MIX,
+        PoissonArrivals,
+        UniformArrivals,
+        WorkloadSuite,
+    )
+
+    mixes = {"micro": MICRO_MIX, "shuffle-heavy": SHUFFLE_HEAVY_MIX,
+             "analytics": ANALYTICS_MIX}
+    kind, _, value = args.arrivals.partition(":")
+    if kind == "uniform":
+        arrivals = UniformArrivals(span=float(value or 20))
+    elif kind == "poisson":
+        arrivals = PoissonArrivals(rate=float(value or 0.2))
+    else:
+        print(f"bad --arrivals {args.arrivals!r}")
+        return 2
+    suite = WorkloadSuite(mixes[args.mix], arrivals=arrivals, name=args.mix)
+    config = HadoopConfig(block_size=32 * MB, num_reducers=4,
+                          scheduler=args.scheduler)
+    outcome = suite.run(count=args.count,
+                        cluster_spec=ClusterSpec(num_nodes=args.nodes,
+                                                 hosts_per_rack=4),
+                        config=config, seed=args.seed)
+    table = Table(title=f"suite {args.mix} x{args.count} ({args.scheduler})",
+                  headers=["job", "kind", "arrival s", "JCT s", "MiB"])
+    for result, trace, arrival in zip(outcome.results, outcome.traces,
+                                      outcome.arrival_times):
+        table.add_row(result.job_id, result.kind, round(arrival, 1),
+                      round(result.completion_time, 2),
+                      round(trace.total_bytes() / MB, 1))
+    table.notes.append(f"makespan {outcome.makespan:.1f}s, mean JCT "
+                       f"{outcome.mean_jct():.1f}s, traffic "
+                       f"{outcome.total_bytes() / MB:.0f} MiB")
+    print(render_table(table))
+    if args.output:
+        paths = save_traces(outcome.traces, args.output)
+        print(f"{len(paths)} traces -> {args.output}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    from repro.analysis.compare import validation_summary
+
+    captured = JobTrace.from_jsonl(args.captured)
+    synthetic = JobTrace.from_jsonl(args.synthetic)
+    summary = validation_summary(captured, synthetic)
+    table = Table(title=f"validation: {args.synthetic} vs {args.captured}",
+                  headers=["component", "captured flows", "synthetic flows",
+                           "count err", "volume err", "size KS"])
+    for component, comparison in sorted(summary.components.items()):
+        if comparison.captured_flows == 0 and comparison.synthetic_flows == 0:
+            continue
+        table.add_row(component, comparison.captured_flows,
+                      comparison.synthetic_flows,
+                      round(comparison.count_error, 3),
+                      round(comparison.volume_error, 3),
+                      round(comparison.size_ks.statistic, 3)
+                      if comparison.size_ks else "-")
+    table.notes.append(f"means: size KS {summary.mean_size_ks:.3f}, "
+                       f"count err {summary.mean_count_error:.3f}, "
+                       f"volume err {summary.mean_volume_error:.3f}")
+    print(render_table(table))
+    return 0
+
+
+def cmd_workload(args: argparse.Namespace) -> int:
+    from repro.generation.workload import ScheduledJob, generate_workload_trace
+    from repro.modeling.bundle import ModelBundle
+
+    schedule = []
+    for entry in args.job:
+        parts = entry.split(":")
+        if len(parts) not in (2, 3):
+            print(f"bad --job {entry!r}; expected KIND:GB[:START_S]")
+            return 2
+        kind, gb = parts[0], float(parts[1])
+        start = float(parts[2]) if len(parts) == 3 else 0.0
+        schedule.append(ScheduledJob(kind, input_gb=gb, start_s=start))
+    bundle = ModelBundle.load(args.models)
+    trace = generate_workload_trace(bundle, schedule, seed=args.seed)
+    trace.to_jsonl(args.output)
+    print(f"generated workload of {len(schedule)} jobs: "
+          f"{trace.flow_count()} flows "
+          f"({trace.total_bytes() / MB:.1f} MiB) -> {args.output}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    trace = JobTrace.from_jsonl(args.trace)
+    meta = trace.meta
+    table = Table(
+        title=(f"{meta.job_id} ({meta.job_kind}, "
+               f"{meta.input_bytes / (1024 * MB):.2f} GiB input)"),
+        headers=["component", "flows", "MiB", "share", "cross-rack MiB"])
+    for component, stats in component_breakdown(trace).items():
+        if stats["flows"]:
+            table.add_row(component, int(stats["flows"]),
+                          round(stats["bytes"] / MB, 2),
+                          f"{stats['share']:.1%}",
+                          round(stats["cross_rack_bytes"] / MB, 2))
+    table.notes.append(f"completion time: {meta.completion_time:.2f}s, "
+                       f"maps: {meta.num_maps}, reduces: {meta.num_reduces}")
+    print(render_table(table))
+    if getattr(args, "hotspots", False) or getattr(args, "full", False):
+        from repro.analysis.hotspots import hotspot_table
+
+        print()
+        print(render_table(hotspot_table(trace)))
+    if getattr(args, "full", False):
+        from repro.analysis.matrix import rack_matrix_table
+        from repro.analysis.timeseries import phase_profile
+
+        print()
+        print(render_table(rack_matrix_table(trace)))
+        print()
+        print(render_table(phase_profile(trace)))
+    return 0
+
+
+_COMMANDS = {
+    "capture": cmd_capture,
+    "fit": cmd_fit,
+    "generate": cmd_generate,
+    "replay": cmd_replay,
+    "export": cmd_export,
+    "report": cmd_report,
+    "experiment": cmd_experiment,
+    "workload": cmd_workload,
+    "validate": cmd_validate,
+    "suite": cmd_suite,
+    "inspect": cmd_inspect,
+    "diff": cmd_diff,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""Cluster and Hadoop configuration objects.
+
+:class:`ClusterSpec` describes the hardware (nodes, racks, links, disk
+and CPU rates); :class:`HadoopConfig` the Hadoop-level knobs the paper's
+evaluation varies (block size, replication factor, reducer count,
+reducer slow-start, scheduler).  Both serialise to plain dicts so each
+captured :class:`~repro.capture.records.JobTrace` can carry the exact
+configuration it was produced under.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict
+
+from repro.cluster.units import MB
+
+
+@dataclass
+class ClusterSpec:
+    """Hardware description of the simulated cluster.
+
+    Defaults model the kind of commodity testbed used in the paper:
+    1 Gbit/s access links, a rack-per-8-hosts tree, ~150 MB/s disks.
+    """
+
+    num_nodes: int = 16
+    hosts_per_rack: int = 8
+    topology: str = "tree"
+    host_gbps: float = 1.0
+    oversubscription: float = 1.0
+    disk_read_rate: float = 150.0 * MB
+    disk_write_rate: float = 120.0 * MB
+    containers_per_node: int = 4
+    # Per-hop propagation/processing latency in seconds; adds a 1.5-RTT
+    # connection-setup cost per flow (see FlowNetwork).  0 disables it.
+    hop_latency_s: float = 0.0
+    # Heterogeneity: per-node compute speed factors are drawn from a
+    # mean-1 lognormal with this sigma (0 = homogeneous cluster).
+    # Slow nodes stretch their tasks' compute phases.
+    node_speed_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.hosts_per_rack < 1:
+            raise ValueError(f"hosts_per_rack must be >= 1, got {self.hosts_per_rack}")
+        if self.containers_per_node < 1:
+            raise ValueError(f"containers_per_node must be >= 1, got {self.containers_per_node}")
+        if self.disk_read_rate <= 0 or self.disk_write_rate <= 0:
+            raise ValueError("disk rates must be positive")
+        if self.hop_latency_s < 0:
+            raise ValueError("hop_latency_s must be >= 0")
+        if self.node_speed_sigma < 0:
+            raise ValueError("node_speed_sigma must be >= 0")
+
+    @property
+    def num_racks(self) -> int:
+        return (self.num_nodes + self.hosts_per_rack - 1) // self.hosts_per_rack
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterSpec":
+        return cls(**data)
+
+
+@dataclass
+class HadoopConfig:
+    """Hadoop-level configuration (the paper's experiment axes).
+
+    Attribute names follow the Hadoop properties they stand in for:
+
+    ============================ =====================================
+    attribute                    Hadoop property
+    ============================ =====================================
+    ``block_size``               ``dfs.blocksize``
+    ``replication``              ``dfs.replication``
+    ``num_reducers``             ``mapreduce.job.reduces``
+    ``slowstart``                ``mapreduce.job.reduce.slowstart.
+                                 completedmaps``
+    ``shuffle_parallel_copies``  ``mapreduce.reduce.shuffle.parallelcopies``
+    ``scheduler``                ``yarn.resourcemanager.scheduler.class``
+    ``speculative``              ``mapreduce.map|reduce.speculative``
+    ``compress_map_output``      ``mapreduce.map.output.compress``
+    ``compression_ratio``        codec-dependent (snappy ~0.45 on text)
+    ============================ =====================================
+    """
+
+    block_size: int = 128 * MB
+    replication: int = 3
+    num_reducers: int = 8
+    slowstart: float = 0.05
+    shuffle_parallel_copies: int = 5
+    scheduler: str = "fifo"
+    speculative: bool = False
+    compress_map_output: bool = False
+    compression_ratio: float = 0.45
+    # Transient stragglers: each task attempt is slowed by
+    # ``straggler_slowdown`` with probability ``straggler_prob``
+    # (GC pauses, disk contention, noisy neighbours).  Speculative
+    # execution exists to cut exactly this tail.
+    straggler_prob: float = 0.0
+    straggler_slowdown: float = 5.0
+    nm_heartbeat_s: float = 1.0
+    dn_heartbeat_s: float = 3.0
+    heartbeat_bytes: int = 512
+    # Locality-aware map-to-container binding (delay scheduling's steady
+    # state).  Off = bind maps in queue order, the A1 ablation baseline.
+    locality_aware: bool = True
+    # Delay scheduling (Zaharia et al., EuroSys'10): with no node-local
+    # map for an offered container, decline it for up to this many
+    # seconds of the map phase (2x for the rack-local tier) before
+    # falling back.  0 = immediate fallback.  Maps onto
+    # yarn.scheduler.capacity.node-locality-delay in spirit.
+    delay_scheduling_s: float = 0.0
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.block_size < 1 * MB:
+            raise ValueError(f"block_size must be >= 1 MiB, got {self.block_size}")
+        if self.replication < 1:
+            raise ValueError(f"replication must be >= 1, got {self.replication}")
+        if self.num_reducers < 0:
+            raise ValueError(f"num_reducers must be >= 0, got {self.num_reducers}")
+        if not 0.0 <= self.slowstart <= 1.0:
+            raise ValueError(f"slowstart must be in [0, 1], got {self.slowstart}")
+        if self.shuffle_parallel_copies < 1:
+            raise ValueError("shuffle_parallel_copies must be >= 1")
+        if self.scheduler not in ("fifo", "fair", "capacity", "drf"):
+            raise ValueError(f"unknown scheduler {self.scheduler!r}")
+        if self.delay_scheduling_s < 0:
+            raise ValueError("delay_scheduling_s must be >= 0")
+        if not 0.0 < self.compression_ratio <= 1.0:
+            raise ValueError("compression_ratio must be in (0, 1]")
+        if not 0.0 <= self.straggler_prob <= 1.0:
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1")
+
+    def replace(self, **overrides: Any) -> "HadoopConfig":
+        """Return a copy with fields overridden (config sweeps)."""
+        data = self.to_dict()
+        data.update(overrides)
+        return HadoopConfig.from_dict(data)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HadoopConfig":
+        return cls(**data)

@@ -1,0 +1,44 @@
+"""Well-known Hadoop service ports.
+
+Keddah's capture stage classifies packets into traffic components by
+the service ports of Hadoop daemons.  The simulator stamps every flow
+with realistic src/dst ports so the classifier operates exactly as it
+would on a real pcap, and the simulator's ground-truth labels are used
+only to *validate* the classifier in tests.
+
+Values are the Hadoop 2.x defaults.
+"""
+
+from __future__ import annotations
+
+from repro.simkit.rng import stable_hash
+
+NAMENODE_RPC = 8020        # fs.defaultFS — DFSClient metadata + DN heartbeats
+DATANODE_XFER = 50010      # dfs.datanode.address — block reads/writes
+SHUFFLE_HANDLER = 13562    # mapreduce.shuffle.port — reducer fetches
+RM_SCHEDULER = 8030        # yarn.resourcemanager.scheduler.address — AM heartbeats
+RM_TRACKER = 8031          # yarn.resourcemanager.resource-tracker.address — NM heartbeats
+RM_CLIENT = 8032           # yarn.resourcemanager.address — job submission
+NM_IPC = 45454             # yarn.nodemanager.address — container launch
+
+EPHEMERAL_BASE = 49152
+EPHEMERAL_RANGE = 16384
+
+SERVICE_PORTS = {
+    NAMENODE_RPC: "namenode-rpc",
+    DATANODE_XFER: "datanode-transfer",
+    SHUFFLE_HANDLER: "shuffle-handler",
+    RM_SCHEDULER: "rm-scheduler",
+    RM_TRACKER: "rm-tracker",
+    RM_CLIENT: "rm-client",
+    NM_IPC: "nm-ipc",
+}
+
+
+def ephemeral_port(tag: str) -> int:
+    """A deterministic ephemeral port for a connection tag.
+
+    Real clients get theirs from the OS; we derive one stably from the
+    connection identity so repeated runs produce identical traces.
+    """
+    return EPHEMERAL_BASE + stable_hash(tag) % EPHEMERAL_RANGE

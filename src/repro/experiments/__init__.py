@@ -1,0 +1,19 @@
+"""The evaluation harness: campaigns and per-artefact experiments.
+
+:mod:`repro.experiments.campaigns` defines the canonical experiment
+parameters (job mix, input sizes, cluster scale — scaled so the whole
+evaluation regenerates in seconds on a laptop) and caches captures
+within a process so benchmarks sharing inputs don't re-simulate.
+
+:mod:`repro.experiments.figures` has one entry point per evaluation
+artefact (E1..E15 and ablations A1..A4 in DESIGN.md's index), each
+returning the :class:`~repro.analysis.tables.Table` rows the paper's
+corresponding table/figure reports.
+"""
+
+from repro.experiments.campaigns import CampaignConfig, capture, capture_campaign
+from repro.experiments import figures
+from repro.experiments.report import generate_report, write_report
+
+__all__ = ["CampaignConfig", "capture", "capture_campaign", "figures",
+           "generate_report", "write_report"]

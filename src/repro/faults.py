@@ -1,0 +1,181 @@
+"""Failure injection: node deaths and the traffic they generate.
+
+Hadoop's network behaviour includes a component single-job captures on
+healthy clusters never show: **recovery traffic**.  This module injects
+node failures into a running :class:`~repro.mapreduce.cluster.
+HadoopCluster` and models the two recovery paths:
+
+* **HDFS re-replication** — when a DataNode dies the NameNode prunes it
+  from every replica set and schedules new replicas for the
+  under-replicated blocks.  Each restoration is a DataNode→DataNode
+  transfer of the full block (classified ``hdfs_write``, service
+  ``re-replication``), throttled to a configurable number of concurrent
+  streams like ``dfs.namenode.replication.max-streams``.
+* **task re-execution** — when a NodeManager dies the ResourceManager
+  expires its containers; AppMasters re-queue the killed tasks, whose
+  re-runs regenerate read/shuffle/write traffic on other nodes.  A lost
+  AppMaster container fails its job (AM restart is not modelled).
+
+Committed map outputs die with their node: a reducer whose fetch
+targets a dead host triggers *fetch-failure recovery* in the AppMaster
+(the map output is re-created on a live node — split re-read plus
+recompute — before the fetch proceeds), matching Hadoop's
+re-run-the-map-attempt semantics and its traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.capture.records import TrafficComponent
+from repro.cluster import ports
+from repro.mapreduce.cluster import HadoopCluster
+from repro.simkit.resources import Resource
+
+DATANODE = "datanode"
+NODEMANAGER = "nodemanager"
+NODE = "node"  # both daemons at once (machine crash)
+DECOMMISSION = "decommission"  # graceful DataNode drain (planned)
+
+_KINDS = (DATANODE, NODEMANAGER, NODE, DECOMMISSION)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Kill one daemon (or the whole machine) at a point in time."""
+
+    time: float
+    kind: str
+    host_name: str
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected {_KINDS}")
+
+
+@dataclass
+class FaultReport:
+    """What the injector did and what recovery it triggered."""
+
+    injected: List[FaultEvent] = field(default_factory=list)
+    blocks_rereplicated: int = 0
+    rereplication_bytes: float = 0.0
+    containers_lost: int = 0
+    unrecoverable_blocks: int = 0
+
+
+class FaultInjector:
+    """Schedules a fault plan against a cluster before ``run()``.
+
+    Usage::
+
+        cluster = HadoopCluster(spec, config, seed=1)
+        injector = FaultInjector(cluster, [FaultEvent(5.0, "node", "h003")])
+        results, traces = cluster.run([job])
+        print(injector.report.rereplication_bytes)
+    """
+
+    def __init__(self, cluster: HadoopCluster, plan: List[FaultEvent],
+                 max_replication_streams: int = 2):
+        if max_replication_streams < 1:
+            raise ValueError("max_replication_streams must be >= 1")
+        self.cluster = cluster
+        self.plan = sorted(plan, key=lambda event: event.time)
+        self.report = FaultReport()
+        self._streams = Resource(cluster.sim, max_replication_streams,
+                                 name="re-replication-streams")
+        by_name = {host.name: host for host in cluster.workers}
+        for event in self.plan:
+            if event.host_name not in by_name:
+                raise ValueError(f"fault targets unknown worker {event.host_name!r}")
+            cluster.sim.schedule_at(event.time, self._inject, event)
+
+    # -- injection ---------------------------------------------------------------
+
+    def _inject(self, event: FaultEvent) -> None:
+        host = next(h for h in self.cluster.workers if h.name == event.host_name)
+        self.report.injected.append(event)
+        if event.kind == DECOMMISSION:
+            self.cluster.sim.process(self._decommission(host),
+                                     name=f"decommission[{host.name}]")
+            return
+        if event.kind in (DATANODE, NODE):
+            self._kill_datanode(host)
+        if event.kind in (NODEMANAGER, NODE):
+            self._kill_nodemanager(host)
+
+    def _decommission(self, host):
+        """Graceful DataNode drain: copy replicas away, then retire.
+
+        The node keeps serving reads (and its NodeManager keeps running
+        tasks — HDFS and YARN decommission independently) until every
+        replica has been copied elsewhere.
+        """
+        namenode = self.cluster.namenode
+        locations = namenode.start_decommission(host)
+        children = []
+        for location in locations:
+            action = namenode.choose_rereplication(location)
+            if action is None:
+                self.report.unrecoverable_blocks += 1
+                continue
+            source, target = action
+            children.append(self.cluster.sim.process(
+                self._rereplicate(location, source, target),
+                name=f"decommission-copy[{location.block.block_id}]"))
+        if children:
+            yield self.cluster.sim.all_of(children)
+        namenode.finish_decommission(host)
+        datanode = self.cluster.datanodes.get(host)
+        if datanode is not None:
+            datanode.stop_heartbeats()
+
+    def _kill_datanode(self, host) -> None:
+        datanode = self.cluster.datanodes.get(host)
+        if datanode is not None:
+            datanode.stop_heartbeats()
+        under_replicated = self.cluster.namenode.mark_dead(host)
+        for location in under_replicated:
+            action = self.cluster.namenode.choose_rereplication(location)
+            if action is None:
+                self.report.unrecoverable_blocks += 1
+                continue
+            source, target = action
+            self.cluster.sim.process(
+                self._rereplicate(location, source, target),
+                name=f"re-replicate[{location.block.block_id}]")
+
+    def _kill_nodemanager(self, host) -> None:
+        node = next((nm for nm in self.cluster.nodemanagers if nm.host == host),
+                    None)
+        if node is None:
+            return
+        lost = self.cluster.rm.fail_node(node)
+        self.report.containers_lost += len(lost)
+
+    # -- recovery traffic -----------------------------------------------------------
+
+    def _rereplicate(self, location, source, target):
+        grant = self._streams.acquire()
+        yield grant
+        try:
+            datanode = self.cluster.datanodes.get(target)
+            max_rate = datanode.disk_write_rate if datanode else None
+            flow = self.cluster.net.start_flow(
+                source, target, location.block.size, max_rate=max_rate,
+                metadata={
+                    "component": TrafficComponent.HDFS_WRITE.value,
+                    "service": "re-replication",
+                    "block_id": location.block.block_id,
+                    "src_port": ports.ephemeral_port(
+                        f"rerep-{location.block.block_id}-{source.name}"),
+                    "dst_port": ports.DATANODE_XFER,
+                })
+            yield flow.done
+            self.report.blocks_rereplicated += 1
+            self.report.rereplication_bytes += location.block.size
+        finally:
+            self._streams.release()

@@ -1,0 +1,158 @@
+"""Background cross-traffic for interference studies.
+
+Keddah's purpose is to put *realistic* Hadoop traffic into network
+simulations — which usually means alongside other tenants' traffic.
+This module synthesises background load (constant-rate chunk trains or
+exponential on/off bursts between random host pairs) and composes it
+with a Hadoop trace so a replay measures the interference both ways:
+how cross traffic inflates Hadoop flow completion times, and how much
+capacity the Hadoop job steals from the background flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
+from repro.cluster import ports
+from repro.cluster.units import MB
+from repro.generation.replay import ReplayReport, replay_trace
+
+CROSS_TRAFFIC_SERVICE = "cross-traffic"
+
+
+@dataclass(frozen=True)
+class CrossTrafficSpec:
+    """Shape of the background load."""
+
+    load_fraction: float = 0.2      # of one host link per generator pair
+    pairs: int = 4                  # concurrent src->dst generator pairs
+    chunk_bytes: float = 4.0 * MB   # per-flow transfer unit
+    pattern: str = "constant"       # "constant" | "onoff"
+    on_mean_s: float = 2.0          # mean burst length (onoff)
+    off_mean_s: float = 2.0         # mean silence length (onoff)
+    link_rate: float = 1e9 / 8.0    # bytes/s of the access links
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.load_fraction <= 1.0:
+            raise ValueError("load_fraction must be in (0, 1]")
+        if self.pairs < 1:
+            raise ValueError("pairs must be >= 1")
+        if self.chunk_bytes <= 0:
+            raise ValueError("chunk_bytes must be positive")
+        if self.pattern not in ("constant", "onoff"):
+            raise ValueError(f"unknown pattern {self.pattern!r}")
+        if self.on_mean_s <= 0 or self.off_mean_s <= 0:
+            raise ValueError("on/off means must be positive")
+
+
+def generate_cross_traffic(hosts: Sequence[Tuple[str, int]], duration: float,
+                           spec: Optional[CrossTrafficSpec] = None,
+                           seed: int = 0) -> List[FlowRecord]:
+    """Background flow records covering ``[0, duration]``.
+
+    ``hosts`` are (name, rack) pairs (e.g. from
+    :func:`repro.generation.generator.worker_names`).  Each generator
+    pair emits chunk flows whose *offered* rate averages
+    ``load_fraction`` of one link; on/off bursts offer line-rate chunks
+    during on-periods only.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if len(hosts) < 2:
+        raise ValueError("need at least two hosts for cross traffic")
+    spec = spec or CrossTrafficSpec()
+    rng = np.random.default_rng(seed)
+    flows: List[FlowRecord] = []
+    for pair_index in range(spec.pairs):
+        src_index = int(rng.integers(len(hosts)))
+        dst_index = int(rng.integers(len(hosts) - 1))
+        if dst_index >= src_index:
+            dst_index += 1
+        src, dst = hosts[src_index], hosts[dst_index]
+        flows.extend(_pair_schedule(src, dst, duration, spec, rng, pair_index))
+    flows.sort(key=lambda flow: flow.start)
+    return flows
+
+
+def _pair_schedule(src, dst, duration, spec: CrossTrafficSpec,
+                   rng: np.random.Generator, pair_index: int) -> List[FlowRecord]:
+    offered = spec.load_fraction * spec.link_rate
+    gap = spec.chunk_bytes / offered  # constant pattern inter-chunk gap
+    flows = []
+    t = float(rng.random() * gap)  # desynchronise pairs
+    burst_until = None
+    while t < duration:
+        if spec.pattern == "onoff":
+            if burst_until is None or t >= burst_until:
+                t += float(rng.exponential(spec.off_mean_s))
+                burst_until = t + float(rng.exponential(spec.on_mean_s))
+                if t >= duration:
+                    break
+            step = spec.chunk_bytes / spec.link_rate  # line-rate inside bursts
+        else:
+            step = gap
+        flows.append(FlowRecord(
+            src=src[0], dst=dst[0], src_rack=src[1], dst_rack=dst[1],
+            src_port=ports.ephemeral_port(f"xt-{pair_index}-{len(flows)}-s"),
+            dst_port=ports.ephemeral_port(f"xt-{pair_index}-{len(flows)}-d"),
+            size=spec.chunk_bytes, start=t, end=t,
+            component="other", service=CROSS_TRAFFIC_SERVICE))
+        t += step
+    return flows
+
+
+@dataclass
+class InterferenceReport:
+    """Clean vs contended replay of the same Hadoop trace."""
+
+    clean: ReplayReport
+    contended: ReplayReport
+    hadoop_mean_fct_clean: float
+    hadoop_mean_fct_contended: float
+    cross_traffic_bytes: float
+
+    @property
+    def fct_inflation(self) -> float:
+        """Mean Hadoop flow-duration inflation factor (>= ~1)."""
+        if self.hadoop_mean_fct_clean <= 0:
+            return 1.0
+        return self.hadoop_mean_fct_contended / self.hadoop_mean_fct_clean
+
+
+def replay_with_cross_traffic(trace: JobTrace,
+                              spec: Optional[CrossTrafficSpec] = None,
+                              seed: int = 0) -> InterferenceReport:
+    """Replay a trace twice — alone, and against background load."""
+    clean = replay_trace(trace)
+    hosts = sorted({(f.src, f.src_rack) for f in trace.flows}
+                   | {(f.dst, f.dst_rack) for f in trace.flows})
+    background = generate_cross_traffic(hosts, duration=clean.makespan,
+                                        spec=spec, seed=seed)
+    combined = JobTrace(
+        meta=CaptureMeta(
+            job_id=f"{trace.meta.job_id}+cross",
+            job_kind=trace.meta.job_kind,
+            input_bytes=trace.meta.input_bytes,
+            cluster=dict(trace.meta.cluster),
+            hadoop=dict(trace.meta.hadoop),
+            extra={"cross_traffic": True}),
+        flows=sorted(list(trace.flows) + background,
+                     key=lambda f: (f.start, f.flow_id)))
+    contended = replay_trace(combined)
+
+    def hadoop_mean_fct(report: ReplayReport) -> float:
+        durations = [r.duration for r in report.records
+                     if r.service != CROSS_TRAFFIC_SERVICE]
+        return sum(durations) / len(durations) if durations else 0.0
+
+    return InterferenceReport(
+        clean=clean,
+        contended=contended,
+        hadoop_mean_fct_clean=hadoop_mean_fct(clean),
+        hadoop_mean_fct_contended=hadoop_mean_fct(contended),
+        cross_traffic_bytes=sum(f.size for f in background),
+    )

@@ -1,0 +1,155 @@
+"""Synthetic trace generation from fitted traffic models.
+
+For each component the generator:
+
+1. predicts the flow count for the requested input size from the
+   model's count law;
+2. samples that many flow sizes from the fitted size distribution and
+   (optionally) rescales them so the component's total volume matches
+   the volume law — Keddah's volume-preservation step, which keeps the
+   generated load faithful even when the size distribution's tail is
+   imperfect;
+3. samples inter-arrival gaps and accumulates them from the component's
+   fitted start offset;
+4. places endpoints on the cluster's worker hosts with the component's
+   role structure (distinct src/dst, service ports set so the capture
+   classifier works on synthetic traces too).
+
+The result is a :class:`~repro.capture.records.JobTrace` flagged
+``synthetic`` in its metadata, directly comparable (and replayable)
+against captured traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.capture.records import CaptureMeta, FlowRecord, JobTrace, TrafficComponent
+from repro.cluster import ports
+from repro.cluster.units import GB
+from repro.modeling.model import ComponentModel, JobTrafficModel
+
+_COMPONENT_PORTS = {
+    TrafficComponent.HDFS_READ.value: (ports.DATANODE_XFER, None),
+    TrafficComponent.HDFS_WRITE.value: (None, ports.DATANODE_XFER),
+    TrafficComponent.SHUFFLE.value: (ports.SHUFFLE_HANDLER, None),
+    TrafficComponent.CONTROL.value: (None, ports.RM_TRACKER),
+}
+
+
+def worker_names(model: JobTrafficModel) -> List[Tuple[str, int]]:
+    """(host name, rack) pairs of the modelled cluster's workers.
+
+    Mirrors :class:`~repro.mapreduce.cluster.HadoopCluster`'s layout —
+    workers are hosts 0..N-1 and the master is the extra last host — so
+    generated traces replay directly onto a topology built from the
+    model's ClusterSpec.
+    """
+    num_nodes = int(model.cluster.get("num_nodes", 16))
+    hosts_per_rack = int(model.cluster.get("hosts_per_rack", 8))
+    names = []
+    for index in range(num_nodes):
+        names.append((f"h{index:03d}", index // hosts_per_rack))
+    return names
+
+
+def generate_trace(model: JobTrafficModel, input_gb: float, seed: int = 0,
+                   job_id: str = "", calibrate_volume: bool = True,
+                   arrivals: str = "gaps") -> JobTrace:
+    """Sample one synthetic job trace for ``input_gb`` of input.
+
+    ``arrivals`` selects the start-time model: ``"gaps"`` accumulates
+    sampled inter-arrival gaps (the classic renewal model), while
+    ``"curve"`` samples positions from the fitted empirical arrival
+    curve scaled to the predicted activity span — preserving the
+    time-varying intensity (bursts, waves) the renewal model flattens.
+    """
+    if input_gb < 0:
+        raise ValueError(f"input_gb must be >= 0, got {input_gb}")
+    if arrivals not in ("gaps", "curve"):
+        raise ValueError(f"arrivals must be 'gaps' or 'curve', got {arrivals!r}")
+    rng = np.random.default_rng(seed)
+    workers = worker_names(model)
+    if len(workers) < 2:
+        raise ValueError("generation needs at least two worker hosts")
+    job_id = job_id or f"synthetic_{model.kind}_{seed}"
+
+    flows: List[FlowRecord] = []
+    for name, component in sorted(model.components.items()):
+        flows.extend(_generate_component(component, input_gb, rng, workers,
+                                         job_id, calibrate_volume, arrivals))
+    flows.sort(key=lambda flow: (flow.start, flow.flow_id))
+    finish = max((flow.end for flow in flows), default=0.0)
+    meta = CaptureMeta(
+        job_id=job_id,
+        job_kind=model.kind,
+        input_bytes=input_gb * GB,
+        cluster=dict(model.cluster),
+        hadoop=dict(model.hadoop),
+        seed=seed,
+        submit_time=0.0,
+        finish_time=max(finish, model.expected_duration(input_gb)),
+        extra={"synthetic": True, "generator": "keddah", "input_gb": input_gb},
+    )
+    return JobTrace(meta=meta, flows=flows)
+
+
+def _generate_component(component: ComponentModel, input_gb: float,
+                        rng: np.random.Generator,
+                        workers: List[Tuple[str, int]],
+                        job_id: str, calibrate_volume: bool,
+                        arrivals: str = "gaps") -> List[FlowRecord]:
+    count = component.expected_count(input_gb)
+    if count <= 0:
+        return []
+    sizes = np.maximum(component.size_dist.sample(count, rng), 0.0)
+    # Volume calibration pins the component total to the volume law,
+    # but only for parametric size distributions: degenerate and
+    # empirical populations are exact (block-size atoms, jar blocks),
+    # and rescaling would shift them off their atoms — visibly wrong
+    # in a two-sample comparison against a capture.
+    if calibrate_volume and getattr(component.size_dist, "kind", "") == "parametric":
+        target = component.expected_volume(input_gb)
+        total = float(sizes.sum())
+        if total > 0 and target > 0:
+            sizes = sizes * (target / total)
+    offset = max(component.start_law.predict_nonneg(input_gb), 0.0)
+    if arrivals == "curve" and component.arrival_curve is not None:
+        span = max(component.span_law.predict_nonneg(input_gb), 0.0)
+        positions = np.sort(
+            np.clip(component.arrival_curve.sample(count, rng), 0.0, 1.0))
+        starts = offset + positions * span
+    else:
+        gaps = np.maximum(component.interarrival_dist.sample(count, rng), 0.0)
+        starts = offset + np.cumsum(gaps) - gaps[0]
+
+    src_port, dst_port = _COMPONENT_PORTS.get(component.component, (None, None))
+    flows = []
+    for index in range(count):
+        src, dst = _pick_pair(workers, rng)
+        flows.append(FlowRecord(
+            src=src[0], dst=dst[0],
+            src_rack=src[1], dst_rack=dst[1],
+            src_port=src_port if src_port is not None
+            else ports.ephemeral_port(f"{job_id}-{component.component}-{index}-s"),
+            dst_port=dst_port if dst_port is not None
+            else ports.ephemeral_port(f"{job_id}-{component.component}-{index}-d"),
+            size=float(sizes[index]),
+            start=float(starts[index]),
+            end=float(starts[index]),  # duration is assigned by replay
+            component=component.component,
+            service="synthetic",
+            job_id=job_id,
+        ))
+    return flows
+
+
+def _pick_pair(workers: List[Tuple[str, int]],
+               rng: np.random.Generator) -> Tuple[Tuple[str, int], Tuple[str, int]]:
+    src_index = int(rng.integers(len(workers)))
+    dst_index = int(rng.integers(len(workers) - 1))
+    if dst_index >= src_index:
+        dst_index += 1
+    return workers[src_index], workers[dst_index]

@@ -1,0 +1,163 @@
+"""The HDFS balancer: background block movement.
+
+Long-lived clusters accumulate storage skew (new nodes arrive empty,
+hot writers fill their local disks first).  The balancer daemon moves
+block replicas from over- to under-utilised DataNodes, throttled by
+``dfs.datanode.balance.bandwidthPerSec`` — a steady background traffic
+component captures on production clusters contain and healthy-testbed
+captures don't.
+
+:class:`Balancer` implements the planning loop at block granularity:
+
+1. compute per-node utilisation from the NameNode's block map,
+2. while the spread exceeds ``threshold`` × mean: pick the fullest
+   node, move one of its blocks to the emptiest node that does not
+   already hold a replica,
+3. each move is one DataNode→DataNode flow (service ``balancer``)
+   capped at the balancer bandwidth, executed with bounded concurrency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.capture.records import TrafficComponent
+from repro.cluster import ports
+from repro.cluster.topology import Host
+from repro.cluster.units import MB
+from repro.hdfs.blocks import BlockLocation
+from repro.hdfs.namenode import NameNode
+from repro.net.network import FlowNetwork
+from repro.simkit.core import Simulator
+from repro.simkit.resources import Resource
+
+
+@dataclass
+class BalancerReport:
+    """Outcome of one balancing run."""
+
+    moves: int = 0
+    bytes_moved: float = 0.0
+    initial_spread: float = 0.0
+    final_spread: float = 0.0
+    plan: List[Tuple[int, str, str]] = field(default_factory=list)
+
+
+class Balancer:
+    """Plans and executes block moves over the flow network."""
+
+    def __init__(self, sim: Simulator, net: FlowNetwork, namenode: NameNode,
+                 bandwidth: float = 10.0 * MB, threshold: float = 0.1,
+                 max_concurrent_moves: int = 2, max_moves: int = 1000):
+        if bandwidth <= 0:
+            raise ValueError("balancer bandwidth must be positive")
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.sim = sim
+        self.net = net
+        self.namenode = namenode
+        self.bandwidth = bandwidth
+        self.threshold = threshold
+        self.max_moves = max_moves
+        self._streams = Resource(sim, max_concurrent_moves, name="balancer")
+
+    # -- planning ------------------------------------------------------------------
+
+    def spread(self) -> float:
+        """Max-minus-min node utilisation in bytes."""
+        usage = self.namenode.bytes_per_node()
+        if not usage:
+            return 0.0
+        values = list(usage.values())
+        return float(max(values) - min(values))
+
+    def plan(self) -> List[Tuple[BlockLocation, Host, Host]]:
+        """(block, source, target) moves to bring the spread in band.
+
+        Works on a copy of the utilisation map so planning is pure; the
+        actual replica-set updates happen as moves complete.
+        """
+        usage = dict(self.namenode.bytes_per_node())
+        if not usage:
+            return []
+        moves: List[Tuple[BlockLocation, Host, Host]] = []
+        moved_blocks: set = set()
+        mean = sum(usage.values()) / len(usage)
+        band = self.threshold * max(mean, 1.0)
+        while len(moves) < self.max_moves:
+            fullest = max(usage, key=lambda h: (usage[h], h.name))
+            emptiest = min(usage, key=lambda h: (usage[h], h.name))
+            if usage[fullest] - usage[emptiest] <= band:
+                break
+            candidate = self._pick_block(fullest, emptiest, moved_blocks)
+            if candidate is None:
+                break
+            moves.append((candidate, fullest, emptiest))
+            moved_blocks.add(candidate.block.block_id)
+            usage[fullest] -= candidate.block.size
+            usage[emptiest] += candidate.block.size
+        return moves
+
+    def _pick_block(self, source: Host, target: Host,
+                    excluded: set) -> Optional[BlockLocation]:
+        for location in self.namenode.blocks_on(source):
+            if location.block.block_id in excluded:
+                continue
+            if target in location.replicas:
+                continue
+            if location.block.size <= 0:
+                continue
+            return location
+        return None
+
+    # -- execution --------------------------------------------------------------------
+
+    def run_once(self) -> Tuple["BalancerReport", object]:
+        """Start one balancing round; returns (report, done_process).
+
+        The report fills in as moves complete; join the returned process
+        (or run the simulator to quiescence) before reading it.
+        """
+        report = BalancerReport(initial_spread=self.spread())
+        moves = self.plan()
+        process = self.sim.process(self._execute(moves, report),
+                                   name="balancer-round")
+        return report, process
+
+    def _execute(self, moves, report: BalancerReport):
+        children = [
+            self.sim.process(self._move(location, source, target, report),
+                             name=f"balancer-move[{location.block.block_id}]")
+            for location, source, target in moves
+        ]
+        if children:
+            yield self.sim.all_of(children)
+        report.final_spread = self.spread()
+        return report
+
+    def _move(self, location: BlockLocation, source: Host, target: Host,
+              report: BalancerReport):
+        yield self._streams.acquire()
+        try:
+            flow = self.net.start_flow(
+                source, target, location.block.size, max_rate=self.bandwidth,
+                metadata={
+                    "component": TrafficComponent.HDFS_WRITE.value,
+                    "service": "balancer",
+                    "block_id": location.block.block_id,
+                    "src_port": ports.ephemeral_port(
+                        f"bal-{location.block.block_id}-{source.name}"),
+                    "dst_port": ports.DATANODE_XFER,
+                })
+            yield flow.done
+            # Commit the move in the block map.
+            if source in location.replicas and target not in location.replicas:
+                location.replicas.remove(source)
+                location.replicas.append(target)
+            report.moves += 1
+            report.bytes_moved += location.block.size
+            report.plan.append(
+                (location.block.block_id, source.name, target.name))
+        finally:
+            self._streams.release()

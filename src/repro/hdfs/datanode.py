@@ -1,0 +1,61 @@
+"""DataNode: disk rates and the heartbeat control plane."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.capture.records import TrafficComponent
+from repro.cluster import ports
+from repro.cluster.topology import Host
+from repro.net.network import FlowNetwork
+from repro.simkit.core import Simulator
+
+
+class DataNode:
+    """A storage daemon bound to one host.
+
+    Holds the host's disk throughput (used as rate caps on block reads
+    and pipeline writes) and emits the periodic heartbeat flows to the
+    NameNode that make up part of Hadoop's control-plane traffic.
+    """
+
+    def __init__(self, sim: Simulator, net: FlowNetwork, host: Host,
+                 namenode_host: Host, disk_read_rate: float, disk_write_rate: float,
+                 heartbeat_interval: float = 3.0, heartbeat_bytes: int = 512):
+        if disk_read_rate <= 0 or disk_write_rate <= 0:
+            raise ValueError("disk rates must be positive")
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.namenode_host = namenode_host
+        self.disk_read_rate = disk_read_rate
+        self.disk_write_rate = disk_write_rate
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_bytes = heartbeat_bytes
+        self.heartbeats_sent = 0
+        self._running = False
+
+    def start_heartbeats(self) -> None:
+        """Begin the periodic DataNode→NameNode heartbeat process."""
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._heartbeat_loop(), name=f"dn-heartbeat[{self.host}]")
+
+    def stop_heartbeats(self) -> None:
+        """Stop after the current interval (lets the event queue drain)."""
+        self._running = False
+
+    def _heartbeat_loop(self):
+        while self._running:
+            if self.host != self.namenode_host:
+                self.net.start_flow(
+                    self.host, self.namenode_host, self.heartbeat_bytes,
+                    metadata={
+                        "component": TrafficComponent.CONTROL.value,
+                        "service": "dn-heartbeat",
+                        "src_port": ports.ephemeral_port(f"dn-hb-{self.host.name}"),
+                        "dst_port": ports.NAMENODE_RPC,
+                    })
+            self.heartbeats_sent += 1
+            yield self.sim.timeout(self.heartbeat_interval)

@@ -1,0 +1,213 @@
+"""The NameNode: namespace, block map and replica selection."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Host
+from repro.hdfs.blocks import Block, BlockLocation
+from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
+
+
+class BlockLostError(RuntimeError):
+    """Raised when a block has no live replica left."""
+
+
+class NameNode:
+    """In-memory HDFS namespace and block manager.
+
+    Runs on ``host`` (the cluster master).  Keeps ``path → [Block]`` and
+    ``block → BlockLocation``; allocates new blocks through the
+    placement policy and answers locality-sorted replica queries for
+    readers.
+    """
+
+    def __init__(self, host: Host, datanodes: Sequence[Host],
+                 policy: Optional[PlacementPolicy] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if not datanodes:
+            raise ValueError("NameNode needs at least one DataNode")
+        self.host = host
+        self.datanodes = list(datanodes)
+        self.policy = policy or DefaultPlacementPolicy()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._files: Dict[str, List[Block]] = {}
+        self._locations: Dict[int, BlockLocation] = {}
+        self._dead: set = set()
+        self._decommissioning: set = set()
+
+    # -- namespace ------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def create_file(self, path: str) -> None:
+        if path in self._files:
+            raise FileExistsError(f"HDFS path already exists: {path}")
+        self._files[path] = []
+
+    def delete_file(self, path: str) -> None:
+        blocks = self._files.pop(path, None)
+        if blocks is None:
+            raise FileNotFoundError(path)
+        for block in blocks:
+            del self._locations[block.block_id]
+
+    def list_files(self) -> List[str]:
+        return sorted(self._files)
+
+    def file_size(self, path: str) -> int:
+        return sum(block.size for block in self.blocks_of(path))
+
+    def blocks_of(self, path: str) -> List[Block]:
+        blocks = self._files.get(path)
+        if blocks is None:
+            raise FileNotFoundError(path)
+        return list(blocks)
+
+    # -- liveness ---------------------------------------------------------------
+
+    @property
+    def live_datanodes(self) -> List[Host]:
+        """DataNodes usable as placement targets.
+
+        Excludes dead nodes and nodes being decommissioned — a
+        decommissioning node still *serves* its replicas (reads keep
+        working during the drain) but receives no new ones.
+        """
+        return [host for host in self.datanodes
+                if host not in self._dead and host not in self._decommissioning]
+
+    def start_decommission(self, host: Host) -> List[BlockLocation]:
+        """Begin draining ``host``: no new placements; return its blocks.
+
+        Unlike :meth:`mark_dead`, replicas on the host stay readable —
+        the caller re-replicates them elsewhere (with traffic) and then
+        calls :meth:`finish_decommission`.
+        """
+        self._decommissioning.add(host)
+        return self.blocks_on(host)
+
+    def finish_decommission(self, host: Host) -> None:
+        """Complete the drain: drop the host's replicas and retire it."""
+        self._decommissioning.discard(host)
+        self._dead.add(host)
+        for location in self._locations.values():
+            if host in location.replicas:
+                location.replicas.remove(host)
+
+    def is_decommissioning(self, host: Host) -> bool:
+        return host in self._decommissioning
+
+    def is_dead(self, host: Host) -> bool:
+        return host in self._dead
+
+    def mark_dead(self, host: Host) -> List[BlockLocation]:
+        """Record a DataNode failure; return now-under-replicated blocks.
+
+        The dead host is removed from every replica set (mirroring the
+        NameNode pruning a lost DN's block reports).  Blocks whose last
+        replica died stay registered with an empty replica list —
+        readers get :class:`BlockLostError`.
+        """
+        self._dead.add(host)
+        under_replicated = []
+        for location in self._locations.values():
+            if host in location.replicas:
+                location.replicas.remove(host)
+                under_replicated.append(location)
+        return under_replicated
+
+    def choose_rereplication(self, location: BlockLocation
+                             ) -> Optional[tuple]:
+        """Pick a (source, target) pair to restore one lost replica.
+
+        Returns ``None`` when no live source or no spare target exists.
+        """
+        sources = [replica for replica in location.replicas
+                   if replica not in self._dead]
+        if not sources:
+            return None
+        candidates = [host for host in self.live_datanodes
+                      if host not in location.replicas]
+        if not candidates:
+            return None
+        source = sources[int(self.rng.integers(len(sources)))]
+        target = self.policy.choose_targets(candidates, 1, None, self.rng)[0]
+        location.replicas.append(target)
+        return source, target
+
+    # -- block management -----------------------------------------------------
+
+    def allocate_block(self, path: str, size: int, replication: int,
+                       writer: Optional[Host]) -> BlockLocation:
+        """Append a block to ``path`` and choose its replica pipeline."""
+        blocks = self._files.get(path)
+        if blocks is None:
+            raise FileNotFoundError(path)
+        live = self.live_datanodes
+        if not live:
+            raise RuntimeError("no live DataNodes to place a block on")
+        if writer is not None and writer in self._dead:
+            writer = None
+        block = Block(path=path, index=len(blocks), size=size)
+        targets = self.policy.choose_targets(live, replication, writer, self.rng)
+        location = BlockLocation(block=block, replicas=targets)
+        blocks.append(block)
+        self._locations[block.block_id] = location
+        return location
+
+    def locate(self, block: Block) -> BlockLocation:
+        location = self._locations.get(block.block_id)
+        if location is None:
+            raise KeyError(f"unknown block {block!r}")
+        return location
+
+    def locate_file(self, path: str) -> List[BlockLocation]:
+        return [self.locate(block) for block in self.blocks_of(path)]
+
+    def choose_replica_for_read(self, block: Block, reader: Host) -> Host:
+        """Closest *live* replica: node-local, then rack-local, then any.
+
+        Ties are broken with the NameNode RNG, matching HDFS's random
+        pick among equally distant replicas.  Raises
+        :class:`BlockLostError` when every replica is dead.
+        """
+        replicas = [replica for replica in self.locate(block).replicas
+                    if replica not in self._dead]
+        if not replicas:
+            raise BlockLostError(f"all replicas of {block!r} are dead")
+        if reader in replicas:
+            return reader
+        rack_local = [replica for replica in replicas if replica.rack == reader.rack]
+        pool = rack_local or replicas
+        return pool[int(self.rng.integers(len(pool)))]
+
+    # -- statistics -----------------------------------------------------------
+
+    def total_blocks(self) -> int:
+        return len(self._locations)
+
+    def bytes_per_node(self) -> Dict[Host, int]:
+        """Physical bytes stored on each DataNode (the balancer's view)."""
+        usage: Dict[Host, int] = {host: 0 for host in self.datanodes}
+        for location in self._locations.values():
+            for replica in location.replicas:
+                if replica in usage:
+                    usage[replica] += location.block.size
+        return usage
+
+    def blocks_on(self, host: Host) -> List[BlockLocation]:
+        """All block locations holding a replica on ``host``."""
+        return [location for location in self._locations.values()
+                if host in location.replicas]
+
+    def used_bytes(self, with_replicas: bool = True) -> int:
+        """Logical bytes stored, or physical bytes including replicas."""
+        total = 0
+        for location in self._locations.values():
+            factor = len(location.replicas) if with_replicas else 1
+            total += location.block.size * factor
+        return total

@@ -1,0 +1,89 @@
+"""Block replica placement policies.
+
+The default policy reproduces Hadoop's
+``BlockPlacementPolicyDefault``:
+
+1. first replica on the writer's node (if the writer is a DataNode,
+   else a random node),
+2. second replica on a node in a *different* rack,
+3. third replica on a *different node in the same rack as the second*,
+4. further replicas on random nodes, no two on one node.
+
+On single-rack clusters replicas degrade to distinct random nodes, as
+in Hadoop.  :class:`RandomPlacementPolicy` ignores racks entirely and
+exists for the A1-style ablations (placement policy → cross-rack write
+traffic).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.topology import Host
+
+
+class PlacementPolicy:
+    """Interface: choose replica targets for a new block."""
+
+    def choose_targets(self, hosts: Sequence[Host], replication: int,
+                       writer: Optional[Host], rng: np.random.Generator) -> List[Host]:
+        """Return ``min(replication, len(hosts))`` distinct hosts, pipeline-ordered."""
+        raise NotImplementedError
+
+
+class DefaultPlacementPolicy(PlacementPolicy):
+    """Hadoop's rack-aware default placement."""
+
+    def choose_targets(self, hosts: Sequence[Host], replication: int,
+                       writer: Optional[Host], rng: np.random.Generator) -> List[Host]:
+        if not hosts:
+            raise ValueError("no DataNodes available for placement")
+        hosts = list(hosts)
+        count = min(replication, len(hosts))
+        targets: List[Host] = []
+
+        first = writer if writer is not None and writer in hosts else _pick(hosts, rng)
+        targets.append(first)
+        if count == 1:
+            return targets
+
+        off_rack = [host for host in hosts if host.rack != first.rack and host not in targets]
+        second = _pick(off_rack, rng) if off_rack else _pick(_excluding(hosts, targets), rng)
+        targets.append(second)
+        if count == 2:
+            return targets
+
+        same_rack_as_second = [host for host in hosts
+                               if host.rack == second.rack and host not in targets]
+        third = (_pick(same_rack_as_second, rng) if same_rack_as_second
+                 else _pick(_excluding(hosts, targets), rng))
+        targets.append(third)
+
+        while len(targets) < count:
+            targets.append(_pick(_excluding(hosts, targets), rng))
+        return targets
+
+
+class RandomPlacementPolicy(PlacementPolicy):
+    """Rack-oblivious placement (ablation baseline)."""
+
+    def choose_targets(self, hosts: Sequence[Host], replication: int,
+                       writer: Optional[Host], rng: np.random.Generator) -> List[Host]:
+        if not hosts:
+            raise ValueError("no DataNodes available for placement")
+        hosts = list(hosts)
+        count = min(replication, len(hosts))
+        indices = rng.choice(len(hosts), size=count, replace=False)
+        return [hosts[i] for i in indices]
+
+
+def _pick(candidates: Sequence[Host], rng: np.random.Generator) -> Host:
+    if not candidates:
+        raise ValueError("placement candidate set is empty")
+    return candidates[int(rng.integers(len(candidates)))]
+
+
+def _excluding(hosts: Sequence[Host], taken: Sequence[Host]) -> List[Host]:
+    return [host for host in hosts if host not in taken]

@@ -1,0 +1,26 @@
+"""Workload library: MapReduce job profiles.
+
+Profiles cover the spectrum of MapReduce behaviours the paper's
+workload suite (HiBench-style) spans:
+
+=============  ==========================  ============================
+job            traffic character            profile module
+=============  ==========================  ============================
+terasort       shuffle-heavy 1:1:1          :mod:`repro.jobs.terasort`
+sort           terasort w/ replicated out   :mod:`repro.jobs.sort`
+wordcount      aggregation (combiner)       :mod:`repro.jobs.wordcount`
+grep           filter, near-empty shuffle   :mod:`repro.jobs.grep`
+pagerank       iterative, output-chained    :mod:`repro.jobs.pagerank`
+kmeans         iterative, input re-read     :mod:`repro.jobs.kmeans`
+join           two-input shuffle join       :mod:`repro.jobs.join`
+teragen        map-only generator           :mod:`repro.jobs.teragen`
+dfsio          HDFS I/O micro-benchmarks    :mod:`repro.jobs.dfsio`
+=============  ==========================  ============================
+
+``make_job(kind, input_gb, ...)`` is the uniform factory used by the
+experiment harness.
+"""
+
+from repro.jobs.base import JobProfile, JobSpec, job_catalog, make_job
+
+__all__ = ["JobProfile", "JobSpec", "job_catalog", "make_job"]

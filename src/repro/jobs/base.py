@@ -1,0 +1,147 @@
+"""Job profiles and job specifications.
+
+A :class:`JobProfile` captures the *data-flow shape* of a MapReduce
+application — how many bytes leave the mappers per input byte, how many
+bytes the reducers write per shuffled byte, compute rates, partition
+skew and (for iterative workloads) how consecutive rounds chain.  The
+profile is what differentiates TeraSort from WordCount on the wire.
+
+A :class:`JobSpec` is one concrete run: a profile plus input size and
+per-run overrides.  Specs are what the cluster runtime executes and the
+campaign harness sweeps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.cluster.units import MB
+
+_job_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Data-flow shape of one MapReduce application type."""
+
+    kind: str
+    map_selectivity: float = 1.0
+    reduce_selectivity: float = 1.0
+    map_cpu_rate: float = 100.0 * MB
+    reduce_cpu_rate: float = 80.0 * MB
+    merge_rate: float = 250.0 * MB
+    output_replication: Optional[int] = None
+    partition_skew: float = 0.0
+    map_jitter_sigma: float = 0.15
+    generated_bytes_per_map: Optional[float] = None
+    map_only: bool = False
+    iterations: int = 1
+    reread_input: bool = False
+    output_carryover: float = 1.0
+    reducers_scale: float = 1.0  # multiplier on the configured reducer count
+
+    def __post_init__(self) -> None:
+        if self.map_selectivity < 0 or self.reduce_selectivity < 0:
+            raise ValueError(f"selectivities must be >= 0 in {self.kind}")
+        if self.map_cpu_rate <= 0 or self.reduce_cpu_rate <= 0 or self.merge_rate <= 0:
+            raise ValueError(f"compute rates must be positive in {self.kind}")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1 in {self.kind}")
+        if self.partition_skew < 0:
+            raise ValueError(f"partition_skew must be >= 0 in {self.kind}")
+
+    @property
+    def is_generator(self) -> bool:
+        """Generator jobs (TeraGen) synthesise output instead of reading input."""
+        return self.generated_bytes_per_map is not None
+
+    def partition_weights(self, num_reducers: int,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Per-reducer shares of every map's output.
+
+        ``partition_skew`` is a Zipf exponent over reducer ranks; the
+        rank order is shuffled per job so the heavy reducer is not
+        always partition 0.  Skew 0 gives uniform shares.
+        """
+        if num_reducers < 1:
+            raise ValueError("need at least one reducer for partition weights")
+        ranks = np.arange(1, num_reducers + 1, dtype=float)
+        weights = ranks ** (-self.partition_skew)
+        rng.shuffle(weights)
+        return weights / weights.sum()
+
+
+@dataclass
+class JobSpec:
+    """One concrete job run."""
+
+    profile: JobProfile
+    input_bytes: float
+    job_id: str = ""
+    input_path: str = ""
+    output_path: str = ""
+    num_reducers: Optional[int] = None
+    queue: str = "default"
+    num_maps: Optional[int] = None  # generator jobs; derived otherwise
+    seed_salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.input_bytes < 0:
+            raise ValueError(f"input_bytes must be >= 0, got {self.input_bytes}")
+        if not self.job_id:
+            self.job_id = f"job_{self.profile.kind}_{next(_job_counter):04d}"
+        if not self.input_path:
+            self.input_path = f"/data/{self.job_id}/input"
+        if not self.output_path:
+            self.output_path = f"/data/{self.job_id}/output"
+
+    @property
+    def kind(self) -> str:
+        return self.profile.kind
+
+    def with_overrides(self, **changes) -> "JobSpec":
+        return replace(self, **changes)
+
+
+# -- catalog -------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Callable[..., JobProfile]] = {}
+
+
+def register_profile(kind: str):
+    """Decorator: register a profile factory under a job kind."""
+    def decorator(factory: Callable[..., JobProfile]):
+        if kind in _REGISTRY:
+            raise ValueError(f"profile {kind!r} registered twice")
+        _REGISTRY[kind] = factory
+        return factory
+    return decorator
+
+
+def job_catalog() -> Dict[str, Callable[..., JobProfile]]:
+    """All registered job kinds (importing the modules registers them)."""
+    _import_all_profiles()
+    return dict(_REGISTRY)
+
+
+def make_job(kind: str, input_gb: float, num_reducers: Optional[int] = None,
+             queue: str = "default", job_id: str = "",
+             **profile_overrides) -> JobSpec:
+    """Uniform factory: a JobSpec for ``kind`` with ``input_gb`` of data."""
+    _import_all_profiles()
+    factory = _REGISTRY.get(kind)
+    if factory is None:
+        raise ValueError(f"unknown job kind {kind!r}; known: {sorted(_REGISTRY)}")
+    profile = factory(**profile_overrides)
+    input_bytes = input_gb * 1024 * MB
+    return JobSpec(profile=profile, input_bytes=input_bytes,
+                   num_reducers=num_reducers, queue=queue, job_id=job_id)
+
+
+def _import_all_profiles() -> None:
+    # Import for registration side effects; cheap after the first call.
+    from repro.jobs import bayes, dfsio, grep, join, kmeans, nutchindexing, pagerank, sort, teragen, terasort, wordcount  # noqa: F401

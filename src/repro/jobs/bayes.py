@@ -1,0 +1,27 @@
+"""Naive Bayes training (HiBench's ``bayes``): aggregation-heavy ML.
+
+Maps tokenise documents and emit (term, class) count pairs — a larger
+intermediate set than WordCount's (no cross-class combining) but still
+far below the input — and reducers fold them into the model's
+conditional probability tables, a compact output.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("bayes")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="bayes",
+        map_selectivity=0.3,      # term/class pairs survive the combiner
+        reduce_selectivity=0.1,   # folded into probability tables
+        map_cpu_rate=55.0 * MB,   # tokenise + feature extraction
+        reduce_cpu_rate=75.0 * MB,
+        partition_skew=0.9,       # Zipfian vocabulary
+        map_jitter_sigma=0.2,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,41 @@
+"""TestDFSIO-style HDFS I/O micro-benchmarks.
+
+``dfsio-write`` is a map-only job where every map writes a file to HDFS
+(pure pipeline traffic, like TeraGen but with per-map files);
+``dfsio-read`` is a map-only job where every map streams a file back
+(pure HDFS-read traffic).  Together they isolate the two HDFS
+components that composite jobs mix with the shuffle.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("dfsio-write")
+def write_profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="dfsio-write",
+        map_selectivity=1.0,
+        generated_bytes_per_map=512.0 * MB,
+        map_cpu_rate=400.0 * MB,  # the benchmark is I/O bound by design
+        output_replication=None,
+        map_jitter_sigma=0.05,
+        map_only=True,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)
+
+
+@register_profile("dfsio-read")
+def read_profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="dfsio-read",
+        map_selectivity=0.0,      # reads are discarded, nothing emitted
+        map_cpu_rate=400.0 * MB,
+        map_jitter_sigma=0.05,
+        map_only=True,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

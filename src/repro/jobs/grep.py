@@ -1,0 +1,28 @@
+"""Grep: a selective filter with a near-empty shuffle.
+
+Maps scan their full split but emit only matching lines, so the job is
+HDFS-read dominated: shuffle and output are orders of magnitude below
+the input.  (Hadoop's Grep example is two chained jobs — search then
+sort — but the sort phase runs over the tiny match set and is folded
+into the reduce here.)
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("grep")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="grep",
+        map_selectivity=0.01,
+        reduce_selectivity=1.0,
+        map_cpu_rate=150.0 * MB,  # regex scan streams at near disk rate
+        reduce_cpu_rate=80.0 * MB,
+        partition_skew=0.5,
+        map_jitter_sigma=0.1,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,27 @@
+"""Join: a reduce-side equi-join of two tables.
+
+Both relations are tagged and shuffled in full (selectivity slightly
+above 1 for the tags), and the joined output is roughly the size of
+the larger input.  Key popularity follows a mild power law, so some
+reducers receive noticeably more than others — the classic join-skew
+effect.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("join")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="join",
+        map_selectivity=1.05,   # record tags added before the shuffle
+        reduce_selectivity=0.9,
+        map_cpu_rate=110.0 * MB,
+        reduce_cpu_rate=70.0 * MB,
+        partition_skew=0.7,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,31 @@
+"""K-Means: iterative clustering that re-reads its input every round.
+
+Maps scan the full point set each iteration and emit only per-cluster
+partial sums (a few KB), so the job is HDFS-read dominated with a
+near-zero shuffle repeated ``iterations`` times — the opposite corner
+of the traffic space from TeraSort.  The tiny centroid file written per
+round is the next round's *model*, while the point set is re-read
+(``reread_input=True``).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("kmeans")
+def profile(iterations: int = 3, **overrides) -> JobProfile:
+    defaults = dict(
+        kind="kmeans",
+        map_selectivity=0.001,   # partial centroid sums only
+        reduce_selectivity=1.0,
+        map_cpu_rate=60.0 * MB,  # distance computation is CPU-bound
+        reduce_cpu_rate=80.0 * MB,
+        iterations=iterations,
+        reread_input=True,
+        partition_skew=0.0,      # one key per centroid, near-uniform
+        map_jitter_sigma=0.1,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

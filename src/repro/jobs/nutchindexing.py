@@ -1,0 +1,28 @@
+"""Nutch indexing (HiBench's ``nutchindexing``): write-heavy search indexing.
+
+Maps parse crawled pages and emit indexing records of comparable size
+to the input; reducers build inverted-index segments whose on-disk form
+is larger than the shuffled records (posting lists plus structural
+overhead).  The job therefore stresses the shuffle *and* the HDFS-write
+pipeline at once — the corner none of the other profiles covers.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("nutchindexing")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="nutchindexing",
+        map_selectivity=0.8,      # parsed records travel to reducers
+        reduce_selectivity=1.3,   # index segments inflate on disk
+        map_cpu_rate=65.0 * MB,   # HTML parsing
+        reduce_cpu_rate=60.0 * MB,
+        partition_skew=0.5,
+        map_jitter_sigma=0.25,    # page sizes vary wildly
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,31 @@
+"""PageRank: iterative, output-chained graph processing.
+
+Each iteration is a full MapReduce round: maps emit rank contributions
+along edges (slightly inflating the data — ranks plus the link
+structure travel together), reducers combine contributions into the
+next rank vector, and the round's output becomes the next round's
+input.  Traffic therefore repeats per iteration with a slowly shrinking
+volume, which is the signature the capture stage should exhibit.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("pagerank")
+def profile(iterations: int = 3, **overrides) -> JobProfile:
+    defaults = dict(
+        kind="pagerank",
+        map_selectivity=1.2,      # contributions + link structure
+        reduce_selectivity=0.75,  # combined back into rank+adjacency
+        map_cpu_rate=90.0 * MB,
+        reduce_cpu_rate=85.0 * MB,
+        iterations=iterations,
+        reread_input=False,       # round k+1 consumes round k's output
+        output_carryover=1.0,
+        partition_skew=0.6,       # power-law vertex degrees
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,27 @@
+"""Sort: identity map/reduce with fully replicated output.
+
+The stock ``Sort`` example differs from TeraSort on the wire only in
+its output path: the result is written at the configured replication
+factor, so HDFS-write traffic is (replication − 1)× the input size on
+top of the full shuffle.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("sort")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="sort",
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_rate=120.0 * MB,
+        reduce_cpu_rate=90.0 * MB,
+        output_replication=None,  # cluster default (typically 3)
+        partition_skew=0.3,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,27 @@
+"""TeraGen: the map-only data generator.
+
+Maps synthesise rows locally and write them straight to HDFS — there is
+no input to read and no shuffle, so the job's network footprint is pure
+replication-pipeline traffic.  ``input_bytes`` of the spec is
+interpreted as the amount of data to *generate*.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("teragen")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="teragen",
+        map_selectivity=1.0,
+        generated_bytes_per_map=1024.0 * MB,  # one task per GiB by default
+        map_cpu_rate=200.0 * MB,              # row synthesis is cheap
+        output_replication=None,              # cluster default
+        map_jitter_sigma=0.05,
+        map_only=True,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

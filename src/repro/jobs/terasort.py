@@ -1,0 +1,27 @@
+"""TeraSort: the canonical shuffle-heavy 1:1:1 benchmark.
+
+Every input byte is shuffled and every shuffled byte is written back;
+following the TeraSort convention the output is *unreplicated*
+(``mapreduce.terasort.output.replication=1``), so the job's traffic is
+dominated by the shuffle.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("terasort")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="terasort",
+        map_selectivity=1.0,
+        reduce_selectivity=1.0,
+        map_cpu_rate=120.0 * MB,
+        reduce_cpu_rate=90.0 * MB,
+        output_replication=1,
+        partition_skew=0.2,  # sampled range partitioner is nearly uniform
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

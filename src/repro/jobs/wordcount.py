@@ -1,0 +1,27 @@
+"""WordCount: combiner-driven aggregation.
+
+The map-side combiner collapses repeated words before the shuffle, so
+only a small fraction of the input crosses the network, and reducers
+aggregate further before writing a compact result.  Word frequencies
+are heavy-tailed, which shows up as reducer partition skew.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.units import MB
+from repro.jobs.base import JobProfile, register_profile
+
+
+@register_profile("wordcount")
+def profile(**overrides) -> JobProfile:
+    defaults = dict(
+        kind="wordcount",
+        map_selectivity=0.15,    # combiner collapses duplicates
+        reduce_selectivity=0.35,
+        map_cpu_rate=70.0 * MB,  # tokenising is CPU-heavier than sorting
+        reduce_cpu_rate=80.0 * MB,
+        partition_skew=0.8,      # Zipfian word distribution
+        map_jitter_sigma=0.2,
+    )
+    defaults.update(overrides)
+    return JobProfile(**defaults)

@@ -1,0 +1,20 @@
+"""Fixed engine constants (Hadoop-typical magnitudes).
+
+These are deliberately *not* configuration: they model implementation
+overheads whose exact values barely move the traffic statistics but
+whose existence shapes them (e.g. the jar localisation read is why
+every job has a handful of small HDFS-read flows before the first
+split read).
+"""
+
+from repro.cluster.units import KB, MB
+
+AM_STARTUP_S = 1.0          # AM container localisation + JVM start
+TASK_LAUNCH_S = 0.3         # task container launch latency
+AM_HEARTBEAT_S = 1.0        # AM -> RM allocate() cadence
+AM_HEARTBEAT_BYTES = 768    # allocate request/response on the wire
+LAUNCH_RPC_BYTES = 1 * KB   # AM -> NM startContainer RPC
+UMBILICAL_BYTES = 384       # task -> AM completion notification
+JOB_JAR_BYTES = 2 * MB      # job.jar + job.xml + splits staged per job
+JAR_STAGING_REPLICATION = 10  # mapreduce.client.submit.file.replication
+HISTORY_BYTES = 128 * KB    # .jhist + conf written at job end

@@ -1,0 +1,90 @@
+"""Hadoop-style job counters.
+
+The familiar counter groups a real ``job -status`` prints, filled in by
+the AppMaster as tasks execute.  Counters make the engine's accounting
+*checkable*: the tests assert the same identities Hadoop's own counters
+satisfy (map output bytes == reduce shuffle bytes on healthy runs,
+locality counters sum to launched maps, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+# FileSystemCounters
+HDFS_BYTES_READ = "HDFS_BYTES_READ"
+HDFS_BYTES_WRITTEN = "HDFS_BYTES_WRITTEN"
+FILE_BYTES_WRITTEN = "FILE_BYTES_WRITTEN"        # local spills
+
+# JobCounters
+TOTAL_LAUNCHED_MAPS = "TOTAL_LAUNCHED_MAPS"
+TOTAL_LAUNCHED_REDUCES = "TOTAL_LAUNCHED_REDUCES"
+DATA_LOCAL_MAPS = "DATA_LOCAL_MAPS"
+RACK_LOCAL_MAPS = "RACK_LOCAL_MAPS"
+OTHER_LOCAL_MAPS = "OTHER_LOCAL_MAPS"
+NUM_KILLED_MAPS = "NUM_KILLED_MAPS"
+NUM_KILLED_REDUCES = "NUM_KILLED_REDUCES"
+
+# Task counters
+MAP_INPUT_BYTES = "MAP_INPUT_BYTES"
+MAP_OUTPUT_BYTES = "MAP_OUTPUT_BYTES"
+REDUCE_SHUFFLE_BYTES = "REDUCE_SHUFFLE_BYTES"
+REDUCE_INPUT_BYTES = "REDUCE_INPUT_BYTES"
+REDUCE_OUTPUT_BYTES = "REDUCE_OUTPUT_BYTES"
+
+ALL_COUNTERS = (
+    HDFS_BYTES_READ, HDFS_BYTES_WRITTEN, FILE_BYTES_WRITTEN,
+    TOTAL_LAUNCHED_MAPS, TOTAL_LAUNCHED_REDUCES,
+    DATA_LOCAL_MAPS, RACK_LOCAL_MAPS, OTHER_LOCAL_MAPS,
+    NUM_KILLED_MAPS, NUM_KILLED_REDUCES,
+    MAP_INPUT_BYTES, MAP_OUTPUT_BYTES,
+    REDUCE_SHUFFLE_BYTES, REDUCE_INPUT_BYTES, REDUCE_OUTPUT_BYTES,
+)
+
+
+@dataclass
+class JobCounters:
+    """A counter bag with Hadoop-style names."""
+
+    values: Dict[str, float] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        if name not in ALL_COUNTERS:
+            raise KeyError(f"unknown counter {name!r}")
+        self.values[name] = self.values.get(name, 0.0) + amount
+
+    def get(self, name: str) -> float:
+        if name not in ALL_COUNTERS:
+            raise KeyError(f"unknown counter {name!r}")
+        return self.values.get(name, 0.0)
+
+    def __getitem__(self, name: str) -> float:
+        return self.get(name)
+
+    def merge(self, other: "JobCounters") -> "JobCounters":
+        """Sum of two counter bags (aggregating iterative rounds)."""
+        merged = JobCounters(values=dict(self.values))
+        for name, amount in other.values.items():
+            merged.values[name] = merged.values.get(name, 0.0) + amount
+        return merged
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dict(self.values)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobCounters":
+        counters = cls()
+        for name, amount in data.items():
+            counters.increment(name, float(amount))
+        return counters
+
+    def render(self) -> str:
+        """``job -status``-style listing of non-zero counters."""
+        lines = ["Counters:"]
+        for name in ALL_COUNTERS:
+            value = self.values.get(name, 0.0)
+            if value:
+                formatted = f"{int(value):,}" if value == int(value) else f"{value:,.1f}"
+                lines.append(f"  {name}={formatted}")
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Job driver: submits rounds, chains iterations, reports results.
+
+One :class:`JobDriver` executes one :class:`~repro.jobs.base.JobSpec`.
+For single-round jobs it submits one
+:class:`~repro.mapreduce.appmaster.MRAppMaster`; for iterative profiles
+it chains rounds the way real drivers (Mahout, Giraph-on-MR) do:
+
+* ``reread_input=False`` (PageRank): round *k+1* reads round *k*'s
+  output files;
+* ``reread_input=True`` (K-Means): every round re-reads the original
+  input; the small per-round output is the model, not the next input.
+
+All rounds share the job's id, so the capture stage aggregates the
+whole iterative workload into one :class:`~repro.capture.records.
+JobTrace`, matching how the paper treats an application run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.cluster.topology import Host
+from repro.jobs.base import JobSpec
+from repro.mapreduce.appmaster import MRAppMaster
+from repro.mapreduce.result import JobResult
+from repro.simkit.core import Signal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapreduce.cluster import HadoopCluster
+
+
+class JobDriver:
+    """Runs one job (all its rounds) on a HadoopCluster."""
+
+    def __init__(self, cluster: "HadoopCluster", spec: JobSpec,
+                 client_host: Optional[Host] = None):
+        self.cluster = cluster
+        self.spec = spec
+        self.client_host = client_host or cluster.master
+        self.done: Signal = cluster.sim.signal(name=f"{spec.job_id}.done")
+        self.result = JobResult(job_id=spec.job_id, kind=spec.kind,
+                                input_bytes=spec.input_bytes,
+                                submitted_at=cluster.sim.now)
+        self._rounds_submitted = 0
+        cluster.sim.process(self._run(), name=f"driver[{spec.job_id}]")
+
+    def _run(self):
+        profile = self.spec.profile
+        input_paths = [self.spec.input_path] if not profile.is_generator else []
+        yield from self.cluster.stage_job_resources(self.spec, self.client_host)
+        for round_index in range(profile.iterations):
+            output_path = self._round_output(round_index)
+            app = MRAppMaster(
+                sim=self.cluster.sim,
+                net=self.cluster.net,
+                dfs=self.cluster.dfs,
+                rm=self.cluster.rm,
+                config=self.cluster.config,
+                spec=self.spec,
+                input_paths=input_paths,
+                output_path=output_path,
+                rng=self.cluster.rng.stream(f"job.{self.spec.job_id}.r{round_index}"),
+                round_index=round_index,
+                client_host=self.client_host,
+                node_speed=self.cluster.node_speed,
+            )
+            self.cluster.rm.submit_application(app, client_host=self.client_host)
+            round_result = yield app.done
+            self.result.rounds.append(round_result)
+            if round_result.failed:
+                break  # an unrecoverable round (AM loss) fails the job
+            is_last = round_index == profile.iterations - 1
+            if not is_last and not profile.reread_input:
+                input_paths = self._output_files(output_path)
+        self.done.fire(self.result)
+
+    def _round_output(self, round_index: int) -> str:
+        if self.spec.profile.iterations == 1:
+            return self.spec.output_path
+        return f"{self.spec.output_path}/iter{round_index:02d}"
+
+    def _output_files(self, output_path: str) -> List[str]:
+        prefix = output_path + "/"
+        files = [path for path in self.cluster.dfs.namenode.list_files()
+                 if path.startswith(prefix)]
+        if not files:
+            raise RuntimeError(
+                f"{self.spec.job_id}: round produced no output under {output_path}")
+        return files

@@ -1,0 +1,112 @@
+"""Job execution results and counters."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class RoundResult:
+    """Counters for one MapReduce round (iterative jobs run several)."""
+
+    app_id: str
+    round_index: int
+    submit_time: float
+    am_start_time: float = 0.0
+    maps_done_time: float = 0.0
+    finish_time: float = 0.0
+    num_maps: int = 0
+    num_reduces: int = 0
+    input_bytes: float = 0.0
+    map_output_bytes: float = 0.0
+    shuffle_bytes: float = 0.0
+    output_bytes: float = 0.0
+    node_local_reads: int = 0
+    rack_local_reads: int = 0
+    remote_reads: int = 0
+    speculative_attempts: int = 0
+    lost_containers: int = 0
+    fetch_recoveries: int = 0
+    failed: bool = False
+    am_host: str = ""
+    counters: Dict[str, float] = field(default_factory=dict)
+    map_durations: List[float] = field(default_factory=list)
+    reduce_durations: List[float] = field(default_factory=list)
+
+    @property
+    def completion_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def locality_fraction(self) -> float:
+        """Fraction of split reads served node-locally."""
+        total = self.node_local_reads + self.rack_local_reads + self.remote_reads
+        return self.node_local_reads / total if total else 1.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class JobResult:
+    """Aggregate result of one job (all rounds)."""
+
+    job_id: str
+    kind: str
+    input_bytes: float
+    rounds: List[RoundResult] = field(default_factory=list)
+    # When the client submitted the job (jar staging starts here); the
+    # first round's AM submission happens after staging completes.
+    submitted_at: Optional[float] = None
+
+    @property
+    def submit_time(self) -> float:
+        if self.submitted_at is not None:
+            return self.submitted_at
+        return self.rounds[0].submit_time if self.rounds else 0.0
+
+    @property
+    def finish_time(self) -> float:
+        return self.rounds[-1].finish_time if self.rounds else 0.0
+
+    @property
+    def completion_time(self) -> float:
+        return self.finish_time - self.submit_time
+
+    @property
+    def failed(self) -> bool:
+        return any(r.failed for r in self.rounds)
+
+    def counters(self) -> "JobCounters":
+        """Hadoop-style counters aggregated over all rounds."""
+        from repro.mapreduce.counters import JobCounters
+
+        total = JobCounters()
+        for round_result in self.rounds:
+            total = total.merge(JobCounters.from_dict(round_result.counters))
+        return total
+
+    @property
+    def num_maps(self) -> int:
+        return sum(r.num_maps for r in self.rounds)
+
+    @property
+    def num_reduces(self) -> int:
+        return sum(r.num_reduces for r in self.rounds)
+
+    @property
+    def shuffle_bytes(self) -> float:
+        return sum(r.shuffle_bytes for r in self.rounds)
+
+    @property
+    def output_bytes(self) -> float:
+        return sum(r.output_bytes for r in self.rounds)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "input_bytes": self.input_bytes,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }

@@ -1,0 +1,80 @@
+"""Model bundles: one traffic model per job kind, shipped together.
+
+A network study rarely needs just one job's traffic — it needs a whole
+cluster's mix.  A :class:`ModelBundle` groups fitted
+:class:`~repro.modeling.model.JobTrafficModel` objects by job kind,
+persists them as a directory of JSON files, and is the input to
+:func:`repro.generation.workload.generate_workload_trace`.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from repro.capture.records import JobTrace
+from repro.modeling.model import JobTrafficModel, fit_job_model
+
+
+class ModelBundle:
+    """A keyed collection of per-job-kind traffic models."""
+
+    def __init__(self, models: Optional[Dict[str, JobTrafficModel]] = None):
+        self.models: Dict[str, JobTrafficModel] = dict(models or {})
+
+    def __contains__(self, kind: str) -> bool:
+        return kind in self.models
+
+    def __len__(self) -> int:
+        return len(self.models)
+
+    def kinds(self) -> List[str]:
+        return sorted(self.models)
+
+    def get(self, kind: str) -> JobTrafficModel:
+        model = self.models.get(kind)
+        if model is None:
+            raise KeyError(
+                f"no model for job kind {kind!r}; bundle holds {self.kinds()}")
+        return model
+
+    def add(self, model: JobTrafficModel) -> None:
+        self.models[model.kind] = model
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def fit(cls, traces: Iterable[JobTrace], **fit_kwargs) -> "ModelBundle":
+        """Group traces by job kind and fit one model per kind."""
+        by_kind: Dict[str, List[JobTrace]] = {}
+        for trace in traces:
+            by_kind.setdefault(trace.meta.job_kind, []).append(trace)
+        if not by_kind:
+            raise ValueError("no traces to fit a bundle from")
+        return cls({kind: fit_job_model(group, **fit_kwargs)
+                    for kind, group in by_kind.items()})
+
+    # -- persistence ---------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> List[Path]:
+        """Write ``<directory>/<kind>.json`` for every model."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for kind, model in sorted(self.models.items()):
+            path = directory / f"{kind}.json"
+            model.to_json(path)
+            paths.append(path)
+        return paths
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "ModelBundle":
+        """Load every ``*.json`` model in a directory."""
+        directory = Path(directory)
+        models = {}
+        for path in sorted(directory.glob("*.json")):
+            model = JobTrafficModel.from_json(path)
+            models[model.kind] = model
+        if not models:
+            raise FileNotFoundError(f"no model JSON files under {directory}")
+        return cls(models)

@@ -1,0 +1,81 @@
+"""Model diffs: what changed between two fitted traffic models.
+
+Re-capturing after a configuration change (new block size, different
+scheduler, more nodes) yields a new model; this module quantifies the
+drift component by component so the change's traffic impact is
+explicit — the "before/after" table an operator wants from the
+toolchain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.tables import Table
+from repro.cluster.units import MB
+from repro.modeling.model import JobTrafficModel
+
+
+@dataclass
+class ComponentDiff:
+    """One component's drift between two models (evaluated at a size)."""
+
+    component: str
+    count_before: int
+    count_after: int
+    volume_before: float
+    volume_after: float
+    size_mean_before: float
+    size_mean_after: float
+
+    @property
+    def volume_change(self) -> float:
+        """Relative volume change (after/before − 1); inf if appearing."""
+        if self.volume_before == 0:
+            return float("inf") if self.volume_after > 0 else 0.0
+        return self.volume_after / self.volume_before - 1.0
+
+
+def diff_models(before: JobTrafficModel, after: JobTrafficModel,
+                at_gb: float = 1.0) -> Dict[str, ComponentDiff]:
+    """Component-wise comparison of two models, evaluated at ``at_gb``."""
+    names = sorted(set(before.components) | set(after.components))
+    diffs: Dict[str, ComponentDiff] = {}
+    for name in names:
+        b = before.component(name)
+        a = after.component(name)
+        diffs[name] = ComponentDiff(
+            component=name,
+            count_before=b.expected_count(at_gb) if b else 0,
+            count_after=a.expected_count(at_gb) if a else 0,
+            volume_before=b.expected_volume(at_gb) if b else 0.0,
+            volume_after=a.expected_volume(at_gb) if a else 0.0,
+            size_mean_before=b.size_dist.mean() if b else 0.0,
+            size_mean_after=a.size_dist.mean() if a else 0.0,
+        )
+    return diffs
+
+
+def diff_table(before: JobTrafficModel, after: JobTrafficModel,
+               at_gb: float = 1.0,
+               labels: Optional[tuple] = None) -> Table:
+    """Rendered before/after comparison."""
+    label_before, label_after = labels or ("before", "after")
+    diffs = diff_models(before, after, at_gb=at_gb)
+    table = Table(
+        title=(f"model diff @ {at_gb} GiB: {before.kind} "
+               f"({label_before} -> {label_after})"),
+        headers=["component", f"flows {label_before}", f"flows {label_after}",
+                 f"MiB {label_before}", f"MiB {label_after}", "volume change",
+                 "mean flow change"])
+    for name, diff in sorted(diffs.items()):
+        volume_change = diff.volume_change
+        mean_change = (diff.size_mean_after / diff.size_mean_before - 1.0
+                       if diff.size_mean_before > 0 else float("inf"))
+        table.add_row(
+            name, diff.count_before, diff.count_after,
+            round(diff.volume_before / MB, 1), round(diff.volume_after / MB, 1),
+            f"{volume_change:+.1%}" if volume_change != float("inf") else "new",
+            f"{mean_change:+.1%}" if mean_change != float("inf") else "new")
+    return table

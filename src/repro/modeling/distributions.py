@@ -1,0 +1,190 @@
+"""Candidate distributions: fitting, sampling, serialisation.
+
+The parametric family matches the candidate set traffic-modelling
+papers (Keddah included) fit against flow statistics: exponential,
+lognormal, Weibull, gamma, Pareto, normal and uniform.  Positive-support
+families are fitted with location pinned at zero, the standard choice
+for sizes and inter-arrival gaps.
+
+Two non-parametric fallbacks complete the set:
+
+* :class:`DegenerateDistribution` — a point mass, for metrics the
+  cluster quantises (every HDFS-read flow is exactly one block);
+* :class:`EmpiricalDistribution` — inverse-transform sampling from
+  stored quantiles, for populations no single family represents (e.g.
+  the bimodal full-block + tail-block mix).
+
+Everything serialises to plain dicts so fitted models round-trip
+through JSON.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import stats
+
+_POSITIVE_EPS = 1e-9
+
+# name -> (scipy distribution, fit kwargs)
+CANDIDATE_FAMILIES: Dict[str, Tuple[Any, Dict[str, Any]]] = {
+    "exponential": (stats.expon, {"floc": 0}),
+    "lognormal": (stats.lognorm, {"floc": 0}),
+    "weibull": (stats.weibull_min, {"floc": 0}),
+    "gamma": (stats.gamma, {"floc": 0}),
+    "pareto": (stats.pareto, {"floc": 0}),
+    "normal": (stats.norm, {}),
+    "uniform": (stats.uniform, {}),
+}
+
+_POSITIVE_FAMILIES = {"exponential", "lognormal", "weibull", "gamma", "pareto"}
+
+
+class FittedDistribution:
+    """A fitted parametric distribution."""
+
+    def __init__(self, family: str, params: Sequence[float]):
+        if family not in CANDIDATE_FAMILIES:
+            raise ValueError(f"unknown family {family!r}")
+        self.family = family
+        self.params = tuple(float(p) for p in params)
+        self._dist = CANDIDATE_FAMILIES[family][0]
+
+    @property
+    def kind(self) -> str:
+        return "parametric"
+
+    def cdf(self, x) -> np.ndarray:
+        return self._dist.cdf(np.asarray(x, dtype=float), *self.params)
+
+    def logpdf(self, x) -> np.ndarray:
+        return self._dist.logpdf(np.asarray(x, dtype=float), *self.params)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        draws = self._dist.rvs(*self.params, size=n, random_state=rng)
+        if self.family in _POSITIVE_FAMILIES:
+            draws = np.maximum(draws, _POSITIVE_EPS)
+        return np.asarray(draws, dtype=float)
+
+    def mean(self) -> float:
+        return float(self._dist.mean(*self.params))
+
+    @property
+    def n_free_params(self) -> int:
+        # Pinned location does not count as a free parameter.
+        pinned = 1 if "floc" in CANDIDATE_FAMILIES[self.family][1] else 0
+        return len(self.params) - pinned
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "parametric", "family": self.family,
+                "params": list(self.params)}
+
+    def __repr__(self) -> str:
+        rounded = ", ".join(f"{p:.4g}" for p in self.params)
+        return f"{self.family}({rounded})"
+
+
+class DegenerateDistribution:
+    """A point mass at ``value`` (zero-variance data)."""
+
+    kind = "degenerate"
+    family = "degenerate"
+
+    def __init__(self, value: float):
+        self.value = float(value)
+
+    def cdf(self, x) -> np.ndarray:
+        return (np.asarray(x, dtype=float) >= self.value).astype(float)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return np.full(n, self.value)
+
+    def mean(self) -> float:
+        return self.value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "degenerate", "value": self.value}
+
+    def __repr__(self) -> str:
+        return f"degenerate({self.value:.4g})"
+
+
+class EmpiricalDistribution:
+    """Inverse-transform sampling from stored quantiles.
+
+    Stores up to ``max_points`` evenly spaced quantiles of the data and
+    samples by linear interpolation between them — a compact, serialisable
+    approximation of the ECDF.
+    """
+
+    kind = "empirical"
+    family = "empirical"
+
+    def __init__(self, quantiles: Sequence[float]):
+        values = np.asarray(list(quantiles), dtype=float)
+        if values.size == 0:
+            raise ValueError("empirical distribution needs at least one quantile")
+        self.quantiles = np.sort(values)
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float],
+                     max_points: int = 256) -> "EmpiricalDistribution":
+        data = np.sort(np.asarray(list(samples), dtype=float))
+        if data.size == 0:
+            raise ValueError("cannot build empirical distribution from no samples")
+        if data.size <= max_points:
+            return cls(data)
+        probs = np.linspace(0.0, 1.0, max_points)
+        return cls(np.quantile(data, probs))
+
+    def cdf(self, x) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        return np.searchsorted(self.quantiles, x, side="right") / self.quantiles.size
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(n)
+        grid = np.linspace(0.0, 1.0, self.quantiles.size)
+        return np.interp(u, grid, self.quantiles)
+
+    def mean(self) -> float:
+        return float(self.quantiles.mean())
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": "empirical", "quantiles": [float(q) for q in self.quantiles]}
+
+    def __repr__(self) -> str:
+        return f"empirical(n={self.quantiles.size})"
+
+
+def fit_family(family: str, samples: Sequence[float]) -> FittedDistribution:
+    """MLE-fit one family to the samples.
+
+    Raises ``ValueError`` for empty data; positive-support families clip
+    non-positive samples to a tiny epsilon first (zero-duration gaps are
+    common when pipeline hops start simultaneously).
+    """
+    dist, fit_kwargs = CANDIDATE_FAMILIES[family]
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot fit a distribution to no samples")
+    if family in _POSITIVE_FAMILIES:
+        data = np.maximum(data, _POSITIVE_EPS)
+    params = dist.fit(data, **fit_kwargs)
+    return FittedDistribution(family, params)
+
+
+def distribution_from_dict(data: Dict[str, Any]):
+    """Inverse of every distribution's ``to_dict``."""
+    kind = data.get("kind")
+    if kind == "parametric":
+        return FittedDistribution(data["family"], data["params"])
+    if kind == "degenerate":
+        return DegenerateDistribution(data["value"])
+    if kind == "empirical":
+        return EmpiricalDistribution(data["quantiles"])
+    if kind == "mixture":
+        from repro.modeling.mixture import LognormalMixture
+
+        return LognormalMixture.from_dict(data)
+    raise ValueError(f"unknown distribution payload: {data!r}")

@@ -1,0 +1,117 @@
+"""Model selection: fit every candidate family, rank by goodness of fit.
+
+``fit_candidates`` MLE-fits the whole candidate family and scores each
+fit by KS distance, log-likelihood, AIC and BIC.  ``fit_best`` applies
+the selection rule used throughout the toolchain:
+
+1. zero-variance data → point mass;
+2. otherwise the parametric family with the smallest KS distance;
+3. if even the best family's KS distance exceeds
+   ``empirical_threshold`` the fit is judged unrepresentative and an
+   empirical-quantile distribution is returned instead (the paper's
+   models are empirical where parametric families fail).
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.modeling.distributions import (
+    CANDIDATE_FAMILIES,
+    DegenerateDistribution,
+    EmpiricalDistribution,
+    FittedDistribution,
+    fit_family,
+)
+from repro.modeling.ks import KsResult, ks_one_sample
+
+DEFAULT_EMPIRICAL_THRESHOLD = 0.25
+
+
+@dataclass
+class FitReport:
+    """One candidate family's score card."""
+
+    distribution: FittedDistribution
+    ks: KsResult
+    loglike: float
+    aic: float
+    bic: float
+
+    @property
+    def family(self) -> str:
+        return self.distribution.family
+
+
+def fit_candidates(samples: Sequence[float],
+                   families: Optional[Sequence[str]] = None) -> List[FitReport]:
+    """Fit each family; return reports sorted by ascending KS distance.
+
+    Families whose MLE fails on the data (singular likelihoods, etc.)
+    are silently dropped — at least one family always survives.
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot fit to an empty sample")
+    reports: List[FitReport] = []
+    for family in families or CANDIDATE_FAMILIES:
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                fitted = fit_family(family, data)
+                ks = ks_one_sample(data, fitted.cdf)
+                loglike = float(np.sum(fitted.logpdf(np.maximum(data, 1e-9))))
+        except Exception:
+            continue
+        if not math.isfinite(loglike):
+            loglike = float("-inf")
+        k = fitted.n_free_params
+        aic = 2 * k - 2 * loglike
+        bic = k * math.log(data.size) - 2 * loglike
+        reports.append(FitReport(distribution=fitted, ks=ks,
+                                 loglike=loglike, aic=aic, bic=bic))
+    if not reports:
+        raise RuntimeError("every candidate family failed to fit")
+    reports.sort(key=lambda report: report.ks.statistic)
+    return reports
+
+
+def fit_best(samples: Sequence[float],
+             families: Optional[Sequence[str]] = None,
+             empirical_threshold: float = DEFAULT_EMPIRICAL_THRESHOLD,
+             try_mixture: bool = True):
+    """The toolchain's selection rule.  Returns a distribution object.
+
+    When no single family fits (rule 3 in the module docstring), a
+    two-component lognormal mixture is attempted before falling back to
+    empirical quantiles: structurally bimodal populations (e.g. the
+    HDFS-write mix of jar blocks and output blocks) get a compact,
+    extrapolatable model if the mixture at least halves the best
+    single-family KS distance.
+    """
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("cannot fit to an empty sample")
+    if data.size == 1 or float(np.ptp(data)) == 0.0:
+        return DegenerateDistribution(float(data[0]))
+    best = fit_candidates(data, families)[0]
+    if best.ks.statistic <= empirical_threshold:
+        return best.distribution
+    if try_mixture:
+        from repro.modeling.mixture import fit_mixture_if_better
+
+        mixture = fit_mixture_if_better(data, baseline_ks=best.ks.statistic)
+        if mixture is not None:
+            return mixture
+    return EmpiricalDistribution.from_samples(data)
+
+
+def fit_table(samples_by_key: Dict[str, Sequence[float]]) -> Dict[str, FitReport]:
+    """Best parametric fit per keyed sample set (the E5 table's engine)."""
+    return {key: fit_candidates(samples)[0]
+            for key, samples in samples_by_key.items() if len(samples) > 0}

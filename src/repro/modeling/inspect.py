@@ -1,0 +1,38 @@
+"""Human-readable summaries of fitted traffic models."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.tables import Table
+from repro.cluster.units import MB
+from repro.modeling.model import JobTrafficModel
+
+
+def describe_model(model: JobTrafficModel) -> List[Table]:
+    """Tables summarising a model: components, marginals, scaling laws."""
+    overview = Table(
+        title=f"model: {model.kind} (fitted on {model.num_traces} trace(s), "
+              f"sizes {model.input_sizes_gb} GiB)",
+        headers=["component", "size dist", "interarrival dist",
+                 "flows @1GiB", "MiB @1GiB", "start @1GiB s"])
+    for name, component in sorted(model.components.items()):
+        overview.add_row(
+            name,
+            repr(component.size_dist),
+            repr(component.interarrival_dist),
+            component.expected_count(1.0),
+            round(component.expected_volume(1.0) / MB, 1),
+            round(component.start_law.predict_nonneg(1.0), 2))
+    overview.notes.append(
+        f"duration law: {model.duration_law!r}; cluster: "
+        f"{model.cluster.get('num_nodes', '?')} nodes, "
+        f"{model.hadoop.get('num_reducers', '?')} reducers, "
+        f"replication {model.hadoop.get('replication', '?')}")
+
+    laws = Table(
+        title=f"scaling laws: {model.kind} (x = input GiB)",
+        headers=["component", "count law", "volume law (bytes)"])
+    for name, component in sorted(model.components.items()):
+        laws.add_row(name, repr(component.count_law), repr(component.volume_law))
+    return [overview, laws]

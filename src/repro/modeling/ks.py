@@ -1,0 +1,49 @@
+"""Kolmogorov-Smirnov goodness-of-fit wrappers.
+
+Thin, typed wrappers over :mod:`scipy.stats` returning a uniform
+result object, used both for model selection (one-sample, fitted CDF
+vs data) and validation (two-sample, synthetic vs captured — the
+paper's reproduction-fidelity check).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class KsResult:
+    """A KS test outcome."""
+
+    statistic: float
+    pvalue: float
+    n: int
+    m: int = 0  # second sample size (two-sample only)
+
+    def accept(self, alpha: float = 0.05) -> bool:
+        """Whether the null (same distribution) survives at level alpha."""
+        return self.pvalue >= alpha
+
+
+def ks_one_sample(samples: Sequence[float], cdf: Callable) -> KsResult:
+    """KS distance between data and a fitted CDF."""
+    data = np.asarray(list(samples), dtype=float)
+    if data.size == 0:
+        raise ValueError("KS test needs at least one sample")
+    statistic, pvalue = stats.kstest(data, cdf)
+    return KsResult(statistic=float(statistic), pvalue=float(pvalue), n=data.size)
+
+
+def ks_two_sample(a: Sequence[float], b: Sequence[float]) -> KsResult:
+    """KS distance between two empirical samples."""
+    first = np.asarray(list(a), dtype=float)
+    second = np.asarray(list(b), dtype=float)
+    if first.size == 0 or second.size == 0:
+        raise ValueError("KS test needs non-empty samples on both sides")
+    statistic, pvalue = stats.ks_2samp(first, second)
+    return KsResult(statistic=float(statistic), pvalue=float(pvalue),
+                    n=first.size, m=second.size)

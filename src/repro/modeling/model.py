@@ -1,0 +1,224 @@
+"""The Keddah traffic model: per-component marginals + scaling laws.
+
+A :class:`JobTrafficModel` is what the toolchain ships for one job type
+under one cluster configuration:
+
+* per traffic component (HDFS read / shuffle / HDFS write / control), a
+  :class:`ComponentModel` holding fitted distributions of **flow size**
+  and **flow inter-arrival**, plus linear laws for **flow count** and
+  **total volume** against input size (GiB);
+* a job **duration law** for sizing capture-window-level effects;
+* the configuration snapshot the captures ran under, so a consumer
+  knows the model's validity domain.
+
+``fit_job_model`` builds one from a list of captured traces (same job
+kind, any mix of input sizes); models serialise to JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.capture.records import JobTrace, TrafficComponent
+from repro.cluster.units import GB
+from repro.modeling.distributions import distribution_from_dict
+from repro.modeling.fitting import DEFAULT_EMPIRICAL_THRESHOLD, fit_best
+from repro.modeling.scaling import LinearLaw
+
+MODEL_COMPONENTS = [component.value for component in TrafficComponent.data_components()] + [
+    TrafficComponent.CONTROL.value
+]
+
+
+@dataclass
+class ComponentModel:
+    """Fitted traffic model of one component of one job type."""
+
+    component: str
+    size_dist: Any
+    interarrival_dist: Any
+    count_law: LinearLaw
+    volume_law: LinearLaw
+    # First-flow start time vs input size: components phase in at
+    # different points of a job (reads at launch, shuffle after the
+    # first map wave, writes near the end).
+    start_law: LinearLaw = field(default_factory=lambda: LinearLaw(0.0, 0.0))
+    # The component's arrival *shape*: normalised flow-start positions
+    # in [0, 1] pooled across captures, plus the activity span's scaling
+    # law — together they reproduce the arrival process's time-varying
+    # intensity (generation mode ``arrivals="curve"``).
+    arrival_curve: Any = None
+    span_law: LinearLaw = field(default_factory=lambda: LinearLaw(0.0, 0.0))
+    observed_counts: Dict[str, float] = field(default_factory=dict)
+
+    def expected_count(self, input_gb: float) -> int:
+        return int(round(self.count_law.predict_nonneg(input_gb)))
+
+    def expected_volume(self, input_gb: float) -> float:
+        return self.volume_law.predict_nonneg(input_gb)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "component": self.component,
+            "size_dist": self.size_dist.to_dict(),
+            "interarrival_dist": self.interarrival_dist.to_dict(),
+            "count_law": self.count_law.to_dict(),
+            "volume_law": self.volume_law.to_dict(),
+            "start_law": self.start_law.to_dict(),
+            "arrival_curve": (self.arrival_curve.to_dict()
+                              if self.arrival_curve is not None else None),
+            "span_law": self.span_law.to_dict(),
+            "observed_counts": self.observed_counts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ComponentModel":
+        return cls(
+            component=data["component"],
+            size_dist=distribution_from_dict(data["size_dist"]),
+            interarrival_dist=distribution_from_dict(data["interarrival_dist"]),
+            count_law=LinearLaw.from_dict(data["count_law"]),
+            volume_law=LinearLaw.from_dict(data["volume_law"]),
+            start_law=LinearLaw.from_dict(
+                data.get("start_law", {"slope": 0.0, "intercept": 0.0})),
+            arrival_curve=(distribution_from_dict(data["arrival_curve"])
+                           if data.get("arrival_curve") else None),
+            span_law=LinearLaw.from_dict(
+                data.get("span_law", {"slope": 0.0, "intercept": 0.0})),
+            observed_counts=dict(data.get("observed_counts", {})),
+        )
+
+
+@dataclass
+class JobTrafficModel:
+    """The shippable Keddah model for one job kind."""
+
+    kind: str
+    components: Dict[str, ComponentModel]
+    duration_law: LinearLaw
+    input_sizes_gb: List[float] = field(default_factory=list)
+    cluster: Dict[str, Any] = field(default_factory=dict)
+    hadoop: Dict[str, Any] = field(default_factory=dict)
+    num_traces: int = 0
+
+    def component(self, component: TrafficComponent | str) -> Optional[ComponentModel]:
+        return self.components.get(str(component))
+
+    def expected_duration(self, input_gb: float) -> float:
+        return self.duration_law.predict_nonneg(input_gb)
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "components": {name: model.to_dict()
+                           for name, model in self.components.items()},
+            "duration_law": self.duration_law.to_dict(),
+            "input_sizes_gb": self.input_sizes_gb,
+            "cluster": self.cluster,
+            "hadoop": self.hadoop,
+            "num_traces": self.num_traces,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobTrafficModel":
+        return cls(
+            kind=data["kind"],
+            components={name: ComponentModel.from_dict(payload)
+                        for name, payload in data["components"].items()},
+            duration_law=LinearLaw.from_dict(data["duration_law"]),
+            input_sizes_gb=list(data.get("input_sizes_gb", [])),
+            cluster=dict(data.get("cluster", {})),
+            hadoop=dict(data.get("hadoop", {})),
+            num_traces=int(data.get("num_traces", 0)),
+        )
+
+    def to_json(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2), encoding="utf-8")
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "JobTrafficModel":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def fit_job_model(traces: Sequence[JobTrace],
+                  empirical_threshold: float = DEFAULT_EMPIRICAL_THRESHOLD,
+                  ) -> JobTrafficModel:
+    """Fit a :class:`JobTrafficModel` from captured traces of one job kind.
+
+    Sizes and inter-arrivals are pooled across traces (they are close to
+    input-invariant); counts, volumes and durations are fitted per trace
+    against input size, giving the scaling laws used to generate traffic
+    for unseen inputs.
+    """
+    if not traces:
+        raise ValueError("need at least one trace to fit a model")
+    kinds = {trace.meta.job_kind for trace in traces}
+    if len(kinds) != 1:
+        raise ValueError(f"traces mix job kinds: {sorted(kinds)}")
+    kind = kinds.pop()
+
+    inputs_gb = [trace.meta.input_bytes / GB for trace in traces]
+    components: Dict[str, ComponentModel] = {}
+    for component in MODEL_COMPONENTS:
+        sizes: List[float] = []
+        gaps: List[float] = []
+        counts: List[float] = []
+        volumes: List[float] = []
+        start_xs: List[float] = []
+        start_ys: List[float] = []
+        span_xs: List[float] = []
+        span_ys: List[float] = []
+        normalized_starts: List[float] = []
+        for trace, input_gb in zip(traces, inputs_gb):
+            flows = trace.component(component)
+            counts.append(float(len(flows)))
+            volumes.append(float(sum(flow.size for flow in flows)))
+            sizes.extend(flow.size for flow in flows)
+            gaps.extend(trace.interarrivals(component))
+            starts = trace.flow_starts(component)
+            if starts:
+                start_xs.append(input_gb)
+                start_ys.append(starts[0])
+                span = starts[-1] - starts[0]
+                if span > 0:
+                    span_xs.append(input_gb)
+                    span_ys.append(span)
+                    normalized_starts.extend(
+                        (s - starts[0]) / span for s in starts)
+        if not sizes:
+            continue  # component absent for this job kind
+        from repro.modeling.distributions import EmpiricalDistribution
+
+        size_dist = fit_best(sizes, empirical_threshold=empirical_threshold)
+        interarrival_dist = (fit_best(gaps, empirical_threshold=empirical_threshold)
+                             if gaps else fit_best([0.0]))
+        components[component] = ComponentModel(
+            component=component,
+            size_dist=size_dist,
+            interarrival_dist=interarrival_dist,
+            count_law=LinearLaw.fit(inputs_gb, counts),
+            volume_law=LinearLaw.fit(inputs_gb, volumes),
+            start_law=LinearLaw.fit(start_xs, start_ys),
+            arrival_curve=(EmpiricalDistribution.from_samples(normalized_starts)
+                           if normalized_starts else None),
+            span_law=(LinearLaw.fit(span_xs, span_ys)
+                      if span_xs else LinearLaw(0.0, 0.0)),
+            observed_counts={f"{gb:g}": count
+                             for gb, count in zip(inputs_gb, counts)},
+        )
+
+    durations = [trace.meta.completion_time for trace in traces]
+    return JobTrafficModel(
+        kind=kind,
+        components=components,
+        duration_law=LinearLaw.fit(inputs_gb, durations),
+        input_sizes_gb=sorted(set(round(gb, 6) for gb in inputs_gb)),
+        cluster=dict(traces[0].meta.cluster),
+        hadoop=dict(traces[0].meta.hadoop),
+        num_traces=len(traces),
+    )

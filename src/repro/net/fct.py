@@ -1,0 +1,100 @@
+"""Analytic TCP flow-completion-time estimates.
+
+The fluid max-min replay models *sharing* but not TCP's per-flow
+dynamics (handshake, slow start).  This module provides the standard
+closed-form FCT estimate for an uncontended TCP flow — essentially the
+Cardwell/Savage/Anderson latency model with no loss — used to sanity-
+check the fluid model's durations and to quantify where the fluid
+approximation is valid (bulk flows) versus optimistic (small flows).
+
+``tcp_fct(size, rtt, bandwidth)`` =
+    handshake (1 RTT)
+  + slow-start rounds until the window reaches the BDP
+  + remaining bytes at line rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+DEFAULT_MSS = 1448
+DEFAULT_INITIAL_WINDOW = 10  # segments (RFC 6928)
+
+
+def slow_start_rounds(size_bytes: float, rtt: float, bandwidth: float,
+                      mss: int = DEFAULT_MSS,
+                      initial_window: int = DEFAULT_INITIAL_WINDOW) -> int:
+    """Number of RTT-bound slow-start rounds before rate-bound transfer.
+
+    Slow start doubles the window each RTT until either the data runs
+    out or the window covers the bandwidth-delay product.
+    """
+    if size_bytes <= 0:
+        return 0
+    bdp_segments = max(bandwidth * rtt / mss, 1.0)
+    segments_left = math.ceil(size_bytes / mss)
+    window = float(initial_window)
+    rounds = 0
+    while segments_left > 0 and window < bdp_segments:
+        sent = min(window, segments_left)
+        segments_left -= sent
+        window *= 2
+        rounds += 1
+    return rounds
+
+
+def tcp_fct(size_bytes: float, rtt: float, bandwidth: float,
+            mss: int = DEFAULT_MSS,
+            initial_window: int = DEFAULT_INITIAL_WINDOW) -> float:
+    """Uncontended TCP flow completion time in seconds.
+
+    ``bandwidth`` is the path's bottleneck rate in bytes/s; ``rtt`` the
+    round-trip time in seconds.  Loss-free model: handshake + slow-start
+    rounds + the bytes not covered during slow start at line rate.
+    """
+    if size_bytes < 0:
+        raise ValueError(f"size must be >= 0, got {size_bytes}")
+    if rtt < 0:
+        raise ValueError(f"rtt must be >= 0, got {rtt}")
+    if bandwidth <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth}")
+    if size_bytes == 0:
+        return rtt  # handshake only
+    rounds = slow_start_rounds(size_bytes, rtt, bandwidth, mss, initial_window)
+    # Bytes moved during the RTT-bound phase.
+    window = float(initial_window)
+    covered = 0.0
+    for _ in range(rounds):
+        covered += window * mss
+        window *= 2
+    covered = min(covered, size_bytes)
+    remainder = size_bytes - covered
+    return rtt + rounds * rtt + remainder / bandwidth
+
+
+@dataclass(frozen=True)
+class FctComparison:
+    """Fluid vs analytic duration for one flow."""
+
+    size: float
+    fluid: float
+    analytic: float
+
+    @property
+    def ratio(self) -> float:
+        """fluid / analytic (< 1 where the fluid model is optimistic)."""
+        if self.analytic <= 0:
+            return float("nan")
+        return self.fluid / self.analytic
+
+
+def compare_to_fluid(sizes: Sequence[float], fluid_durations: Sequence[float],
+                     rtt: float, bandwidth: float) -> List[FctComparison]:
+    """Pair fluid-simulated durations with the analytic TCP estimate."""
+    if len(sizes) != len(fluid_durations):
+        raise ValueError("sizes and durations must align")
+    return [FctComparison(size=size, fluid=fluid,
+                          analytic=tcp_fct(size, rtt, bandwidth))
+            for size, fluid in zip(sizes, fluid_durations)]

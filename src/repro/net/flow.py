@@ -1,0 +1,75 @@
+"""The Flow object exchanged between the network and its users."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.topology import Host
+from repro.simkit.core import Signal
+
+_flow_ids = itertools.count(1)
+
+
+class Flow:
+    """A single data transfer between two hosts.
+
+    Users obtain flows from :meth:`repro.net.network.FlowNetwork.
+    start_flow` and wait on :attr:`done` (a :class:`~repro.simkit.core.
+    Signal` fired with the flow itself).  The ``metadata`` dict carries
+    application labels (job id, traffic component, task ids) used by the
+    capture stage; the network itself never interprets it.
+    """
+
+    __slots__ = ("flow_id", "src", "dst", "size", "metadata", "max_rate", "done",
+                 "path", "links", "start_time", "end_time", "rate", "remaining",
+                 "last_update", "local")
+
+    def __init__(self, src: Host, dst: Host, size: float, done: Signal,
+                 max_rate: Optional[float] = None,
+                 metadata: Optional[Dict[str, Any]] = None):
+        if size < 0:
+            raise ValueError(f"flow size must be >= 0, got {size}")
+        if max_rate is not None and max_rate <= 0:
+            raise ValueError(f"max_rate must be positive, got {max_rate}")
+        self.flow_id = next(_flow_ids)
+        self.src = src
+        self.dst = dst
+        self.size = float(size)
+        self.metadata: Dict[str, Any] = metadata or {}
+        self.max_rate = max_rate
+        self.done = done
+        self.path: List[object] = []
+        self.links: List[Tuple[object, object]] = []
+        self.start_time: float = 0.0
+        self.end_time: Optional[float] = None
+        self.rate: float = 0.0
+        self.remaining: float = float(size)
+        self.last_update: float = 0.0
+        self.local: bool = src == dst
+
+    @property
+    def finished(self) -> bool:
+        return self.end_time is not None
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Flow completion time in seconds (``None`` while active)."""
+        if self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    @property
+    def mean_rate(self) -> Optional[float]:
+        """Average throughput in bytes/s over the flow's lifetime."""
+        duration = self.duration
+        if duration is None:
+            return None
+        if duration <= 0:
+            return float("inf") if self.size > 0 else 0.0
+        return self.size / duration
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = f"done@{self.end_time:.3f}" if self.finished else f"rate={self.rate:.0f}B/s"
+        return (f"Flow(#{self.flow_id} {self.src}->{self.dst} "
+                f"{self.size:.0f}B {state})")

@@ -1,0 +1,169 @@
+"""The fluid network simulator: flows over a topology, max-min shared.
+
+Mechanics
+---------
+The network keeps the set of active flows.  Whenever the set changes
+(a flow starts or completes) it:
+
+1. advances every active flow's ``remaining`` by ``rate × elapsed``,
+2. recomputes all rates with :func:`repro.net.fairshare.max_min_rates`,
+3. schedules one completion event at the earliest projected finish.
+
+Host-local transfers (``src == dst``) never touch links; they complete
+at the flow's rate cap (typically the disk rate) and are flagged
+``local`` so the capture stage can exclude them, exactly as a NIC-level
+``tcpdump`` would never see loopback DataNode traffic.
+
+Per-link delivered bytes are accumulated on every update, giving the
+utilisation series used by experiment E11.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.cluster.topology import Host, Topology
+from repro.net.fairshare import max_min_rates
+from repro.net.flow import Flow
+from repro.simkit.core import Event, Simulator
+
+_DONE_EPS_BYTES = 0.5
+
+
+class FlowNetwork:
+    """Flow-level network over a :class:`~repro.cluster.topology.Topology`.
+
+    ``hop_latency`` (seconds per hop, default 0) adds a connection-setup
+    delay of 1.5 RTTs before a flow starts moving bytes — the TCP
+    handshake cost that dominates the duration of small control flows
+    while being invisible on bulk transfers.  The flow's recorded
+    duration includes it, as a packet capture's would.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 hop_latency: float = 0.0):
+        if hop_latency < 0:
+            raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
+        self.sim = sim
+        self.topology = topology
+        self.hop_latency = hop_latency
+        self.active: Dict[int, Flow] = {}
+        self.completed_count = 0
+        self.total_bytes = 0.0
+        self.link_bytes: Dict[Tuple[object, object], float] = {}
+        self._capacities: Dict[Tuple[object, object], float] = {}
+        self._completion_event: Optional[Event] = None
+        self._listeners: List[Callable[[Flow], None]] = []
+
+    # -- observation ---------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[Flow], None]) -> None:
+        """Register a callback invoked with every completed flow."""
+        self._listeners.append(callback)
+
+    def utilisation(self, link: Tuple[object, object]) -> float:
+        """Mean utilisation of a directed link since t=0 (fraction)."""
+        if self.sim.now <= 0:
+            return 0.0
+        capacity = self._capacities.get(link)
+        if capacity is None:
+            capacity = self.topology.capacity(*link)
+        return self.link_bytes.get(link, 0.0) / (capacity * self.sim.now)
+
+    # -- flow lifecycle -------------------------------------------------------
+
+    def start_flow(self, src: Host, dst: Host, size: float,
+                   max_rate: Optional[float] = None,
+                   metadata: Optional[Dict[str, Any]] = None) -> Flow:
+        """Begin transferring ``size`` bytes from ``src`` to ``dst``.
+
+        Returns the :class:`Flow`; its ``done`` signal fires (with the
+        flow as payload) at the fluid completion time.
+        """
+        done = self.sim.signal(name="flow.done")
+        flow = Flow(src, dst, size, done, max_rate=max_rate, metadata=metadata)
+        flow.start_time = self.sim.now
+        flow.last_update = self.sim.now
+        if flow.local or size == 0:
+            delay = 0.0 if size == 0 or max_rate is None else size / max_rate
+            self.sim.schedule(delay, self._complete_local, flow)
+            return flow
+        flow.path = self.topology.path(src, dst)
+        flow.links = self.topology.edges_on_path(flow.path)
+        for link in flow.links:
+            if link not in self._capacities:
+                self._capacities[link] = self.topology.capacity(*link)
+        if self.hop_latency > 0:
+            setup = 1.5 * (2.0 * len(flow.links) * self.hop_latency)
+            self.sim.schedule(setup, self._activate, flow)
+        else:
+            self._activate(flow)
+        return flow
+
+    def _activate(self, flow: Flow) -> None:
+        flow.last_update = self.sim.now
+        self.active[flow.flow_id] = flow
+        self._advance_and_reschedule()
+
+    def _complete_local(self, flow: Flow) -> None:
+        flow.remaining = 0.0
+        flow.end_time = self.sim.now
+        flow.rate = 0.0
+        self.completed_count += 1
+        self.total_bytes += flow.size
+        flow.done.fire(flow)
+        for listener in self._listeners:
+            listener(flow)
+
+    # -- fluid dynamics -------------------------------------------------------
+
+    def _advance_progress(self) -> None:
+        now = self.sim.now
+        for flow in self.active.values():
+            elapsed = now - flow.last_update
+            if elapsed > 0 and flow.rate > 0:
+                moved = min(flow.rate * elapsed, flow.remaining)
+                flow.remaining -= moved
+                for link in flow.links:
+                    self.link_bytes[link] = self.link_bytes.get(link, 0.0) + moved
+            flow.last_update = now
+
+    def _recompute_rates(self) -> None:
+        flow_links = {flow_id: flow.links for flow_id, flow in self.active.items()}
+        caps = {flow_id: flow.max_rate for flow_id, flow in self.active.items()
+                if flow.max_rate is not None}
+        rates = max_min_rates(flow_links, self._capacities, caps)
+        for flow_id, flow in self.active.items():
+            flow.rate = rates[flow_id]
+
+    def _advance_and_reschedule(self) -> None:
+        self._advance_progress()
+        self._harvest_finished()
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self.active:
+            return
+        self._recompute_rates()
+        horizon = min(
+            flow.remaining / flow.rate if flow.rate > 0 else float("inf")
+            for flow in self.active.values())
+        if horizon == float("inf"):
+            raise RuntimeError(
+                "active flows exist but none can make progress (zero rates)")
+        self._completion_event = self.sim.schedule(
+            horizon, self._advance_and_reschedule, priority=-1)
+
+    def _harvest_finished(self) -> None:
+        finished = [flow for flow in self.active.values()
+                    if flow.remaining <= _DONE_EPS_BYTES]
+        for flow in finished:
+            del self.active[flow.flow_id]
+            flow.remaining = 0.0
+            flow.rate = 0.0
+            flow.end_time = self.sim.now
+            self.completed_count += 1
+            self.total_bytes += flow.size
+            flow.done.fire(flow)
+            for listener in self._listeners:
+                listener(flow)

@@ -1,0 +1,403 @@
+"""Event loop, events, signals and generator-based processes.
+
+The kernel is intentionally close to the classic event-list design:
+a binary heap of ``(time, priority, seq)``-ordered events, each carrying
+a callback.  On top of that sits a small coroutine layer: a
+:class:`Process` wraps a generator that ``yield``s *waitables*
+(:class:`Timeout`, :class:`Signal`, or another :class:`Process`) and is
+resumed with the waitable's payload when it fires.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, re-firing, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and may be cancelled before they fire.
+    Cancellation is O(1): the event is flagged and skipped when popped.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"Event(t={self.time:.6f}, prio={self.priority}, seq={self.seq}, {state})"
+
+
+class _Waitable:
+    """Base class for things a process may ``yield`` on."""
+
+    def _add_waiter(self, process: "Process") -> None:
+        raise NotImplementedError
+
+    def _remove_waiter(self, process: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(_Waitable):
+    """Resume the waiting process after a fixed delay."""
+
+    __slots__ = ("sim", "delay", "value", "_event", "_process")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.sim = sim
+        self.delay = delay
+        self.value = value
+        self._event: Optional[Event] = None
+        self._process: Optional[Process] = None
+
+    def _add_waiter(self, process: "Process") -> None:
+        self._process = process
+        self._event = self.sim.schedule(self.delay, self._fire)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._process = None
+
+    def _fire(self) -> None:
+        process, self._process = self._process, None
+        self._event = None
+        if process is not None:
+            process._resume(self.value)
+
+
+class Signal(_Waitable):
+    """A one-shot broadcast event that processes can wait on.
+
+    ``fire(payload)`` wakes every waiter with ``payload``; waiters that
+    arrive after the signal fired resume immediately (the signal stays
+    "set", like an asyncio future).  ``fail(exc)`` wakes waiters by
+    throwing ``exc`` into them.
+    """
+
+    __slots__ = ("sim", "name", "_fired", "_payload", "_exception", "_waiters", "_callbacks")
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self._fired = False
+        self._payload: Any = None
+        self._exception: Optional[BaseException] = None
+        self._waiters: List[Process] = []
+        self._callbacks: List[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def payload(self) -> Any:
+        return self._payload
+
+    def on_fire(self, callback: Callable[[Any], None]) -> None:
+        """Register a plain callback invoked with the payload on fire."""
+        if self._fired:
+            self.sim.schedule(0.0, callback, self._payload)
+        else:
+            self._callbacks.append(callback)
+
+    def fire(self, payload: Any = None) -> None:
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._payload = payload
+        waiters, self._waiters = self._waiters, []
+        callbacks, self._callbacks = self._callbacks, []
+        for process in waiters:
+            self.sim.schedule(0.0, process._resume, payload)
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, payload)
+
+    def fail(self, exception: BaseException) -> None:
+        """Fire the signal exceptionally: waiters get ``exception`` thrown."""
+        if self._fired:
+            raise SimulationError(f"signal {self.name!r} fired twice")
+        self._fired = True
+        self._exception = exception
+        waiters, self._waiters = self._waiters, []
+        self._callbacks = []
+        for process in waiters:
+            self.sim.schedule(0.0, process._throw, exception)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self._fired:
+            if self._exception is not None:
+                self.sim.schedule(0.0, process._throw, self._exception)
+            else:
+                self.sim.schedule(0.0, process._resume, self._payload)
+        else:
+            self._waiters.append(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        if process in self._waiters:
+            self._waiters.remove(process)
+
+
+class Process(_Waitable):
+    """A generator-based coroutine driven by the simulator.
+
+    The generator yields waitables; when one fires the process is
+    resumed with its payload.  A finished process is itself a waitable
+    whose payload is the generator's return value, so processes can
+    ``yield`` on each other (join semantics).
+    """
+
+    __slots__ = ("sim", "name", "_generator", "_waiting_on", "_done_signal", "_alive")
+
+    def __init__(self, sim: "Simulator", generator: Generator[Any, Any, Any], name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(generator, "__name__", "process")
+        self._generator = generator
+        self._waiting_on: Optional[_Waitable] = None
+        self._done_signal = Signal(sim, name=f"{self.name}.done")
+        self._alive = True
+        sim.schedule(0.0, self._resume, None)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def result(self) -> Any:
+        """Return value of the generator (valid once not ``alive``)."""
+        return self._done_signal.payload
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self._alive:
+            return
+        self._detach()
+        self.sim.schedule(0.0, self._throw, Interrupt(cause))
+
+    def _detach(self) -> None:
+        if self._waiting_on is not None:
+            self._waiting_on._remove_waiter(self)
+            self._waiting_on = None
+
+    def _resume(self, value: Any) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            target = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _throw(self, exception: BaseException) -> None:
+        if not self._alive:
+            return
+        self._waiting_on = None
+        try:
+            target = self._generator.throw(exception)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if not isinstance(target, _Waitable):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected Timeout/Signal/Process")
+        self._waiting_on = target
+        target._add_waiter(self)
+
+    def _finish(self, value: Any) -> None:
+        self._alive = False
+        self._done_signal.fire(value)
+
+    # Waitable protocol: joining a process waits for its completion.
+    def _add_waiter(self, process: "Process") -> None:
+        self._done_signal._add_waiter(process)
+
+    def _remove_waiter(self, process: "Process") -> None:
+        self._done_signal._remove_waiter(process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "alive" if self._alive else "done"
+        return f"Process({self.name!r}, {state})"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    >>> sim = Simulator()
+    >>> out = []
+    >>> def worker(sim):
+    ...     yield sim.timeout(1.5)
+    ...     out.append(sim.now)
+    >>> _ = sim.process(worker(sim))
+    >>> sim.run()
+    >>> out
+    [1.5]
+    """
+
+    def __init__(self):
+        self._queue: List[Event] = []
+        self._now = 0.0
+        self._seq = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., Any], *args: Any,
+                 priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        return self.schedule_at(self._now + delay, callback, *args, priority=priority)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any], *args: Any,
+                    priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} (now t={self._now}): time travel")
+        event = Event(time, priority, next(self._seq), callback, args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create a waitable that fires after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def signal(self, name: str = "") -> Signal:
+        """Create a fresh one-shot :class:`Signal`."""
+        return Signal(self, name)
+
+    def process(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Start a generator as a simulation process."""
+        return Process(self, generator, name)
+
+    def any_of(self, waitables: Iterable[_Waitable]) -> Signal:
+        """Signal firing with ``(index, payload)`` of the first input to fire.
+
+        Later completions are ignored (their payloads are dropped), so
+        the pattern ``yield sim.any_of([work, sim.timeout(deadline)])``
+        implements an operation timeout.
+        """
+        waitables = list(waitables)
+        if not waitables:
+            raise SimulationError("any_of needs at least one waitable")
+        first = Signal(self, name="any_of")
+
+        def arm(index: int, waitable: _Waitable) -> None:
+            def waiter():
+                payload = yield waitable
+                if not first.fired:
+                    first.fire((index, payload))
+            self.process(waiter(), name=f"any_of[{index}]")
+
+        for index, waitable in enumerate(waitables):
+            arm(index, waitable)
+        return first
+
+    def all_of(self, waitables: Iterable[_Waitable]) -> Signal:
+        """Signal that fires (with a list of payloads) once all inputs fired."""
+        waitables = list(waitables)
+        done = Signal(self, name="all_of")
+        if not waitables:
+            done.fire([])
+            return done
+        payloads: List[Any] = [None] * len(waitables)
+        remaining = [len(waitables)]
+
+        def arm(index: int, waitable: _Waitable) -> None:
+            def waiter():
+                payloads[index] = yield waitable
+                remaining[0] -= 1
+                if remaining[0] == 0:
+                    done.fire(list(payloads))
+            self.process(waiter(), name=f"all_of[{index}]")
+
+        for index, waitable in enumerate(waitables):
+            arm(index, waitable)
+        return done
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the next pending event.  Returns False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run events until the queue drains or ``until`` is reached.
+
+        If ``until`` is given, time is advanced to exactly ``until`` even
+        when the queue drains earlier, mirroring SimPy semantics.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.callback(*event.args)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)

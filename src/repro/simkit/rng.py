@@ -1,0 +1,49 @@
+"""Named, reproducible random number streams.
+
+Every stochastic component in the simulator (task duration jitter,
+key-skew sampling, scheduler tie-breaking, model sampling, ...) pulls a
+stream by name from one :class:`RngRegistry`.  Streams are derived from
+``(seed, name)`` with a stable hash, so:
+
+* the same seed reproduces a campaign bit-for-bit, and
+* adding a new stream never perturbs the draws of existing streams —
+  which keeps golden-value regression tests stable across refactors.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict
+
+import numpy as np
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 32-bit hash (Python's ``hash`` is salted per run)."""
+    return zlib.crc32(text.encode("utf-8")) & 0xFFFFFFFF
+
+
+class RngRegistry:
+    """Factory and cache for named :class:`numpy.random.Generator` streams."""
+
+    def __init__(self, seed: int = 0):
+        if not isinstance(seed, int):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self.seed = seed
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        generator = self._streams.get(name)
+        if generator is None:
+            sequence = np.random.SeedSequence(entropy=self.seed, spawn_key=(stable_hash(name),))
+            generator = np.random.default_rng(sequence)
+            self._streams[name] = generator
+        return generator
+
+    def fork(self, salt: int) -> "RngRegistry":
+        """Derive an independent registry (e.g. per simulation run)."""
+        return RngRegistry(seed=(self.seed * 1_000_003 + salt) & 0x7FFFFFFF)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"

@@ -1,0 +1,33 @@
+"""Canonical job mixes (HiBench-flavoured).
+
+Three mixes spanning the traffic space:
+
+* :data:`MICRO_MIX` — the balanced micro-benchmark mix the paper's
+  single-job analysis draws from;
+* :data:`SHUFFLE_HEAVY_MIX` — sort-dominated, stresses the fabric's
+  bisection (the worst case for oversubscribed trees);
+* :data:`ANALYTICS_MIX` — iterative/aggregation analytics, stresses
+  HDFS reads and the control plane more than the shuffle.
+"""
+
+from repro.workloads.suite import MixEntry
+
+MICRO_MIX = [
+    MixEntry("terasort", input_gb=0.5, weight=2.0),
+    MixEntry("wordcount", input_gb=0.5, weight=2.0),
+    MixEntry("grep", input_gb=0.5, weight=1.0),
+    MixEntry("teragen", input_gb=0.25, weight=1.0),
+]
+
+SHUFFLE_HEAVY_MIX = [
+    MixEntry("terasort", input_gb=1.0, weight=3.0),
+    MixEntry("sort", input_gb=0.5, weight=2.0),
+    MixEntry("join", input_gb=0.5, weight=1.0),
+]
+
+ANALYTICS_MIX = [
+    MixEntry("pagerank", input_gb=0.25, weight=2.0),
+    MixEntry("kmeans", input_gb=0.5, weight=2.0),
+    MixEntry("wordcount", input_gb=0.5, weight=1.0),
+    MixEntry("grep", input_gb=1.0, weight=1.0),
+]

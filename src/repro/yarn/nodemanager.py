@@ -1,0 +1,89 @@
+"""NodeManager: per-node capacity tracking and the heartbeat loop."""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.capture.records import TrafficComponent
+from repro.cluster import ports
+from repro.cluster.topology import Host
+from repro.net.network import FlowNetwork
+from repro.simkit.core import Simulator
+from repro.yarn.containers import Container, Resources
+from repro.yarn.resourcemanager import ResourceManager
+
+
+class NodeManager:
+    """One node's container host, heartbeating the ResourceManager.
+
+    Heartbeats are staggered per node (``phase``) so the cluster does
+    not fire them in lock-step; each beat carries a small control flow
+    to the RM tracker port and triggers an allocation round.
+    """
+
+    def __init__(self, sim: Simulator, net: FlowNetwork, host: Host,
+                 rm: ResourceManager, capacity: Resources,
+                 heartbeat_interval: float = 1.0, phase: float = 0.0,
+                 heartbeat_bytes: int = 512):
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.sim = sim
+        self.net = net
+        self.host = host
+        self.rm = rm
+        self.capacity = capacity
+        self.free = capacity
+        self.running: Set[Container] = set()
+        self.heartbeat_interval = heartbeat_interval
+        self.phase = phase % heartbeat_interval if heartbeat_interval > 0 else 0.0
+        self.heartbeat_bytes = heartbeat_bytes
+        self.heartbeats_sent = 0
+        self._running = False
+        rm.register_node(self)
+
+    # -- capacity ---------------------------------------------------------------
+
+    def allocate(self, container: Container) -> None:
+        if not container.resources.fits_in(self.free):
+            raise ValueError(
+                f"container {container!r} does not fit on {self.host} (free {self.free})")
+        self.free = self.free - container.resources
+        self.running.add(container)
+
+    def deallocate(self, container: Container) -> None:
+        if container not in self.running:
+            raise KeyError(f"container {container!r} not running on {self.host}")
+        self.running.remove(container)
+        self.free = self.free + container.resources
+
+    @property
+    def running_count(self) -> int:
+        return len(self.running)
+
+    # -- heartbeat loop -----------------------------------------------------------
+
+    def start_heartbeats(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.process(self._heartbeat_loop(), name=f"nm-heartbeat[{self.host}]")
+
+    def stop_heartbeats(self) -> None:
+        self._running = False
+
+    def _heartbeat_loop(self):
+        if self.phase > 0:
+            yield self.sim.timeout(self.phase)
+        while self._running:
+            if self.host != self.rm.host:
+                self.net.start_flow(
+                    self.host, self.rm.host, self.heartbeat_bytes,
+                    metadata={
+                        "component": TrafficComponent.CONTROL.value,
+                        "service": "nm-heartbeat",
+                        "src_port": ports.ephemeral_port(f"nm-hb-{self.host.name}"),
+                        "dst_port": ports.RM_TRACKER,
+                    })
+            self.heartbeats_sent += 1
+            self.rm.node_heartbeat(self)
+            yield self.sim.timeout(self.heartbeat_interval)

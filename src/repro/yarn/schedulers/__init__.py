@@ -1,0 +1,46 @@
+"""Pluggable YARN schedulers.
+
+Each scheduler answers one question at NodeManager-heartbeat time:
+*which application should the next free container on this node go to?*
+The policies mirror the stock YARN schedulers:
+
+* :class:`~repro.yarn.schedulers.fifo.FifoScheduler` — strict
+  submission order;
+* :class:`~repro.yarn.schedulers.fair.FairScheduler` — smallest current
+  memory share first (Fair Scheduler with equal weights);
+* :class:`~repro.yarn.schedulers.capacity.CapacityScheduler` — queues
+  with guaranteed capacities, most-underserved queue first, FIFO
+  within a queue;
+* :class:`~repro.yarn.schedulers.drf.DrfScheduler` — Dominant Resource
+  Fairness over the (vcores, memory) vector.
+"""
+
+from typing import Dict, Optional
+
+from repro.yarn.schedulers.base import Scheduler
+from repro.yarn.schedulers.capacity import CapacityScheduler
+from repro.yarn.schedulers.drf import DrfScheduler
+from repro.yarn.schedulers.fair import FairScheduler
+from repro.yarn.schedulers.fifo import FifoScheduler
+
+__all__ = [
+    "CapacityScheduler",
+    "DrfScheduler",
+    "FairScheduler",
+    "FifoScheduler",
+    "Scheduler",
+    "make_scheduler",
+]
+
+
+def make_scheduler(name: str, queue_capacities: Optional[Dict[str, float]] = None) -> Scheduler:
+    """Build a scheduler by its :class:`HadoopConfig` name."""
+    if name == "fifo":
+        return FifoScheduler()
+    if name == "fair":
+        return FairScheduler()
+    if name == "capacity":
+        return CapacityScheduler(queue_capacities or {"default": 1.0})
+    if name == "drf":
+        return DrfScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")

@@ -1,0 +1,40 @@
+"""Scheduler interface and the usage view it decides over."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.yarn.containers import Resources
+
+
+@dataclass
+class AppUsage:
+    """What the scheduler may see about one application."""
+
+    app_id: str
+    queue: str
+    submit_order: int
+    pending: int                 # container requests not yet granted
+    usage: Resources             # resources currently held
+    container_unit: Resources    # per-container ask
+
+
+class Scheduler:
+    """Policy choosing the next application to serve on a free node."""
+
+    name = "base"
+
+    def select_app(self, candidates: Sequence[AppUsage],
+                   cluster_total: Resources) -> Optional[AppUsage]:
+        """Pick the application that receives the next container.
+
+        ``candidates`` all have ``pending > 0`` and a container that fits
+        on the heartbeating node.  Return ``None`` to leave the slot
+        idle (no policy currently does, but the interface allows it).
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def fifo_key(app: AppUsage):
+        return (app.submit_order, app.app_id)

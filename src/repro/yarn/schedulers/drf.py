@@ -1,0 +1,30 @@
+"""Dominant Resource Fairness scheduler (Ghodsi et al., NSDI'11)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.yarn.containers import Resources
+from repro.yarn.schedulers.base import AppUsage, Scheduler
+
+
+class DrfScheduler(Scheduler):
+    """Serve the application with the smallest dominant share.
+
+    An application's *dominant share* is the maximum, over resource
+    dimensions, of its usage divided by the cluster total.  DRF picks
+    the candidate minimising it, which generalises max-min fairness to
+    the (vcores, memory) vector; with homogeneous container asks it
+    coincides with the Fair scheduler, and diverges when jobs request
+    CPU-heavy vs memory-heavy containers.
+    """
+
+    name = "drf"
+
+    def select_app(self, candidates: Sequence[AppUsage],
+                   cluster_total: Resources) -> Optional[AppUsage]:
+        if not candidates:
+            return None
+        return min(
+            candidates,
+            key=lambda app: (app.usage.dominant_share(cluster_total),) + self.fifo_key(app))

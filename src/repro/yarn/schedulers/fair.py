@@ -1,0 +1,28 @@
+"""Fair scheduler: equalise memory shares across applications."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.yarn.containers import Resources
+from repro.yarn.schedulers.base import AppUsage, Scheduler
+
+
+class FairScheduler(Scheduler):
+    """Serve the application furthest below its fair share.
+
+    Models the Hadoop Fair Scheduler with equal weights and memory as
+    the fairness resource: the candidate holding the least memory gets
+    the next container, submission order breaking ties.  Preemption is
+    not modelled (it is off by default in Hadoop and creates no extra
+    traffic, only reassignment latency).
+    """
+
+    name = "fair"
+
+    def select_app(self, candidates: Sequence[AppUsage],
+                   cluster_total: Resources) -> Optional[AppUsage]:
+        if not candidates:
+            return None
+        return min(candidates,
+                   key=lambda app: (app.usage.memory_mb,) + self.fifo_key(app))

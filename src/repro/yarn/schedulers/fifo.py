@@ -1,0 +1,25 @@
+"""FIFO scheduler: strict submission order."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.yarn.containers import Resources
+from repro.yarn.schedulers.base import AppUsage, Scheduler
+
+
+class FifoScheduler(Scheduler):
+    """The earliest-submitted application with demand takes everything.
+
+    This is YARN's ``FifoScheduler``: later jobs starve until earlier
+    ones release containers, which is exactly the head-of-line blocking
+    the paper's scheduler-comparison experiment exposes.
+    """
+
+    name = "fifo"
+
+    def select_app(self, candidates: Sequence[AppUsage],
+                   cluster_total: Resources) -> Optional[AppUsage]:
+        if not candidates:
+            return None
+        return min(candidates, key=self.fifo_key)

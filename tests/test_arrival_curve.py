@@ -1,0 +1,79 @@
+"""Tests for the empirical arrival-curve generation mode."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.campaigns import capture_campaign
+from repro.generation.generator import generate_trace
+from repro.modeling.ks import ks_two_sample
+from repro.modeling.model import JobTrafficModel, fit_job_model
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit_job_model(capture_campaign("terasort",
+                                          sizes_gb=[0.25, 0.5, 1.0], seed=81))
+
+
+def test_model_carries_arrival_curve_and_span_law(model):
+    shuffle = model.components["shuffle"]
+    assert shuffle.arrival_curve is not None
+    assert shuffle.span_law.predict_nonneg(1.0) > 0
+    # Normalised positions live in [0, 1].
+    draws = shuffle.arrival_curve.sample(100, np.random.default_rng(0))
+    assert np.all(draws >= -1e-9) and np.all(draws <= 1 + 1e-9)
+
+
+def test_curve_mode_spans_match_the_law(model):
+    trace = generate_trace(model, input_gb=1.0, seed=1, arrivals="curve")
+    shuffle_starts = trace.flow_starts("shuffle")
+    span = shuffle_starts[-1] - shuffle_starts[0]
+    predicted = model.components["shuffle"].span_law.predict_nonneg(1.0)
+    assert span <= predicted * 1.01
+    assert span >= 0.3 * predicted  # samples cover most of the curve
+
+
+def test_curve_mode_starts_sorted_and_offset(model):
+    trace = generate_trace(model, input_gb=0.5, seed=2, arrivals="curve")
+    starts = [flow.start for flow in trace.flows]
+    assert starts == sorted(starts)
+    shuffle = model.components["shuffle"]
+    first = trace.flow_starts("shuffle")[0]
+    assert first >= shuffle.start_law.predict_nonneg(0.5) - 1e-9
+
+
+def test_curve_mode_matches_captured_arrival_shape(model):
+    """The curve mode reproduces the capture's start-time distribution."""
+    captured = capture_campaign("terasort", sizes_gb=[1.0], seed=81 + 2)[0]
+    curve = generate_trace(model, input_gb=1.0, seed=3, arrivals="curve")
+    cap_starts = captured.flow_starts("shuffle")
+    curve_starts = curve.flow_starts("shuffle")
+    # Compare normalised shapes (absolute offsets differ by model error).
+    def norm(starts):
+        lo, hi = starts[0], starts[-1]
+        return [(s - lo) / (hi - lo) for s in starts] if hi > lo else starts
+    ks_curve = ks_two_sample(norm(cap_starts), norm(curve_starts))
+    assert ks_curve.statistic < 0.3
+
+
+def test_invalid_arrivals_mode_rejected(model):
+    with pytest.raises(ValueError):
+        generate_trace(model, input_gb=1.0, arrivals="psychic")
+
+
+def test_curve_survives_serialisation(tmp_path, model):
+    path = tmp_path / "m.json"
+    model.to_json(path)
+    loaded = JobTrafficModel.from_json(path)
+    shuffle = loaded.components["shuffle"]
+    assert shuffle.arrival_curve is not None
+    assert shuffle.span_law == model.components["shuffle"].span_law
+    trace = generate_trace(loaded, input_gb=1.0, seed=4, arrivals="curve")
+    assert trace.flow_count() > 0
+
+
+def test_gaps_mode_unaffected(model):
+    a = generate_trace(model, input_gb=0.5, seed=5, arrivals="gaps")
+    b = generate_trace(model, input_gb=0.5, seed=5)
+    assert [(f.size, f.start) for f in a.flows] == \
+           [(f.size, f.start) for f in b.flows]

@@ -1,0 +1,82 @@
+"""Tests for capture anonymisation."""
+
+import numpy as np
+import pytest
+
+from repro.capture.anonymize import anonymize_trace, anonymize_traces
+from repro.experiments.campaigns import capture, capture_campaign
+from repro.modeling.model import fit_job_model
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return capture("terasort", 0.25, seed=51)[1]
+
+
+def test_hosts_are_pseudonymised_consistently(trace):
+    anonymous = anonymize_trace(trace, salt="secret")
+    original_hosts = {f.src for f in trace.flows} | {f.dst for f in trace.flows}
+    anonymous_hosts = ({f.src for f in anonymous.flows}
+                       | {f.dst for f in anonymous.flows})
+    # Bijective renaming: same cardinality, no original name survives.
+    assert len(anonymous_hosts) == len(original_hosts)
+    assert not (anonymous_hosts & original_hosts)
+    assert all(host.startswith("node-") for host in anonymous_hosts)
+    # Pairings preserved flow-by-flow.
+    mapping = {}
+    for original, anonymous_flow in zip(trace.flows, anonymous.flows):
+        mapping.setdefault(original.src, anonymous_flow.src)
+        assert mapping[original.src] == anonymous_flow.src
+
+
+def test_different_salts_are_unlinkable(trace):
+    a = anonymize_trace(trace, salt="alpha")
+    b = anonymize_trace(trace, salt="beta")
+    hosts_a = {f.src for f in a.flows}
+    hosts_b = {f.src for f in b.flows}
+    assert not (hosts_a & hosts_b)
+
+
+def test_structure_is_preserved(trace):
+    anonymous = anonymize_trace(trace, salt="s")
+    assert anonymous.flow_count() == trace.flow_count()
+    assert anonymous.total_bytes() == trace.total_bytes()
+    for original, anon in zip(trace.flows, anonymous.flows):
+        assert anon.size == original.size
+        assert anon.src_rack == original.src_rack
+        assert anon.component == original.component
+        assert anon.duration == pytest.approx(original.duration)
+    # Times rebased to submission.
+    assert anonymous.meta.submit_time == 0.0
+    assert min(f.start for f in anonymous.flows) >= 0.0
+
+
+def test_identifying_metadata_removed(trace):
+    anonymous = anonymize_trace(trace, salt="s")
+    assert anonymous.meta.job_id != trace.meta.job_id
+    assert anonymous.meta.job_id.startswith("job-")
+    assert anonymous.meta.extra == {"anonymized": True}
+    assert anonymous.meta.seed == 0
+    assert set(anonymous.meta.cluster) <= {
+        "num_nodes", "hosts_per_rack", "topology", "host_gbps",
+        "oversubscription", "disk_read_rate", "disk_write_rate",
+        "containers_per_node", "hop_latency_s", "node_speed_sigma"}
+
+
+def test_salt_required(trace):
+    with pytest.raises(ValueError):
+        anonymize_trace(trace, salt="")
+
+
+def test_fitting_anonymised_traces_matches_original():
+    traces = capture_campaign("wordcount", sizes_gb=[0.125, 0.25], seed=52)
+    anonymous = anonymize_traces(traces, salt="campaign")
+    original_model = fit_job_model(traces)
+    anonymous_model = fit_job_model(anonymous)
+    for component in original_model.components:
+        original_component = original_model.components[component]
+        anonymous_component = anonymous_model.components[component]
+        assert anonymous_component.count_law == original_component.count_law
+        xs = np.array([1e3, 1e6, 1e8])
+        assert np.allclose(anonymous_component.size_dist.cdf(xs),
+                           original_component.size_dist.cdf(xs))

@@ -1,0 +1,90 @@
+"""Tests for multi-vantage-point capture merging."""
+
+import pytest
+
+from repro.capture.merge import (
+    apply_clock_skew,
+    deduplicate_flows,
+    estimate_clock_skew,
+    merge_captures,
+)
+from repro.capture.records import FlowRecord
+
+
+def flow(src="h001", dst="h002", sport=13562, dport=49000, size=1000.0,
+         start=0.0, end=None, component="shuffle"):
+    return FlowRecord(src=src, dst=dst, src_rack=0, dst_rack=1,
+                      src_port=sport, dst_port=dport, size=size,
+                      start=start, end=end if end is not None else start + 1.0,
+                      component=component)
+
+
+def test_estimate_skew_from_shared_flows():
+    reference = [flow(start=10.0), flow(dport=49001, start=20.0)]
+    other = [flow(start=10.3), flow(dport=49001, start=20.3)]
+    assert estimate_clock_skew(reference, other) == pytest.approx(0.3)
+
+
+def test_estimate_skew_no_overlap_is_zero():
+    reference = [flow(dport=1)]
+    other = [flow(dport=2)]
+    assert estimate_clock_skew(reference, other) == 0.0
+
+
+def test_apply_clock_skew_shifts_times():
+    shifted = apply_clock_skew([flow(start=5.0, end=6.0)], offset=0.5)
+    assert shifted[0].start == pytest.approx(4.5)
+    assert shifted[0].end == pytest.approx(5.5)
+
+
+def test_deduplicate_keeps_one_per_connection():
+    sender_view = flow(start=1.00, size=1000.0)
+    receiver_view = flow(start=1.05, size=1000.0)
+    merged = deduplicate_flows([sender_view, receiver_view])
+    assert len(merged) == 1
+
+
+def test_deduplicate_prefers_larger_byte_count():
+    complete = flow(start=1.0, size=5000.0)
+    truncated = flow(start=1.02, size=3000.0)
+    merged = deduplicate_flows([truncated, complete])
+    assert len(merged) == 1
+    assert merged[0].size == 5000.0
+
+
+def test_deduplicate_separates_distant_repeats():
+    early = flow(start=1.0)
+    late = flow(start=100.0)  # same 5-tuple, clearly a new connection
+    merged = deduplicate_flows([early, late], window=1.0)
+    assert len(merged) == 2
+
+
+def test_deduplicate_rejects_bad_window():
+    with pytest.raises(ValueError):
+        deduplicate_flows([], window=0.0)
+
+
+def test_merge_captures_end_to_end():
+    # Two vantage points see the same two flows; point B's clock is
+    # 0.25 s ahead and its second observation is truncated.
+    point_a = [flow(start=1.0, size=1000.0),
+               flow(dport=49001, start=2.0, size=2000.0)]
+    point_b = [flow(start=1.25, size=1000.0),
+               flow(dport=49001, start=2.25, size=1500.0)]
+    merged = merge_captures({"h001": point_a, "h002": point_b})
+    assert len(merged) == 2
+    assert [f.start for f in merged] == pytest.approx([1.0, 2.0])
+    assert merged[1].size == 2000.0  # complete observation won
+
+
+def test_merge_captures_reference_validation():
+    with pytest.raises(KeyError):
+        merge_captures({"a": []}, reference="zz")
+    assert merge_captures({}) == []
+
+
+def test_merge_preserves_unique_flows_from_all_points():
+    point_a = [flow(dport=1, start=1.0)]
+    point_b = [flow(dport=2, start=2.0)]
+    merged = merge_captures({"a": point_a, "b": point_b})
+    assert len(merged) == 2

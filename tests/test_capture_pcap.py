@@ -1,0 +1,128 @@
+"""Unit + property tests: packet synthesis and flow assembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.capture.pcap import (
+    PacketRecord,
+    assemble_flows,
+    read_packets,
+    synthesize_packets,
+    write_packets,
+)
+from repro.capture.records import FlowRecord
+
+
+def flow(size=10000.0, start=0.0, end=2.0, src="h001", dst="h002",
+         src_port=50010, dst_port=49500, component="hdfs_read"):
+    return FlowRecord(src=src, dst=dst, src_rack=0, dst_rack=1,
+                      src_port=src_port, dst_port=dst_port,
+                      size=size, start=start, end=end, component=component)
+
+
+def test_synthesize_preserves_total_bytes():
+    record = flow(size=10000.0)
+    packets = synthesize_packets(record, mtu=1448)
+    assert sum(p.size for p in packets) == 10000
+    assert len(packets) == 7  # ceil(10000/1448)
+    assert all(p.size <= 1448 for p in packets)
+
+
+def test_synthesize_spreads_packets_over_duration():
+    record = flow(size=5000.0, start=1.0, end=3.0)
+    packets = synthesize_packets(record, mtu=1000)
+    times = [p.time for p in packets]
+    assert times[0] == pytest.approx(1.0)
+    assert max(times) < 3.0
+    assert times == sorted(times)
+
+
+def test_zero_byte_flow_synthesizes_marker_packet():
+    packets = synthesize_packets(flow(size=0.0))
+    assert len(packets) == 1
+    assert packets[0].size == 0
+
+
+def test_invalid_mtu_rejected():
+    with pytest.raises(ValueError):
+        synthesize_packets(flow(), mtu=0)
+
+
+def test_assembly_roundtrip_single_flow():
+    record = flow(size=20000.0, start=5.0, end=9.0)
+    packets = synthesize_packets(record)
+    assembled = assemble_flows(packets, rack_of={"h001": 0, "h002": 1})
+    assert len(assembled) == 1
+    out = assembled[0]
+    assert out.src == record.src and out.dst == record.dst
+    assert out.size == pytest.approx(record.size)
+    assert out.start == pytest.approx(record.start)
+    assert out.component == "hdfs_read"  # classified from ports
+    assert out.src_rack == 0 and out.dst_rack == 1
+
+
+def test_assembly_separates_different_five_tuples():
+    a = synthesize_packets(flow(src="h001", dst="h002", dst_port=1111))
+    b = synthesize_packets(flow(src="h003", dst="h002", dst_port=2222))
+    assembled = assemble_flows(a + b)
+    assert len(assembled) == 2
+
+
+def test_assembly_splits_on_idle_gap():
+    early = synthesize_packets(flow(start=0.0, end=1.0))
+    late = synthesize_packets(flow(start=500.0, end=501.0))
+    assembled = assemble_flows(early + late, idle_gap=60.0)
+    assert len(assembled) == 2
+    merged = assemble_flows(early + late, idle_gap=1000.0)
+    assert len(merged) == 1
+
+
+def test_assembly_unknown_hosts_get_rack_minus_one():
+    assembled = assemble_flows(synthesize_packets(flow()))
+    assert assembled[0].src_rack == -1
+
+
+def test_assembly_rejects_bad_gap():
+    with pytest.raises(ValueError):
+        assemble_flows([], idle_gap=0)
+
+
+def test_packet_csv_roundtrip(tmp_path):
+    packets = synthesize_packets(flow(size=5000.0))
+    path = tmp_path / "capture.csv"
+    write_packets(packets, path)
+    loaded = read_packets(path)
+    assert loaded == packets
+
+
+def test_read_packets_missing_columns(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("time,src\n1.0,h001\n", encoding="utf-8")
+    with pytest.raises(ValueError):
+        read_packets(path)
+
+
+def test_packet_negative_size_rejected():
+    with pytest.raises(ValueError):
+        PacketRecord(0.0, "a", "b", 1, 2, -1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    size=st.floats(min_value=1.0, max_value=1e8),
+    start=st.floats(min_value=0.0, max_value=1e4),
+    span=st.floats(min_value=0.0, max_value=600.0),
+    mtu=st.integers(min_value=100, max_value=9000),
+)
+def test_synthesis_assembly_roundtrip_property(size, start, span, mtu):
+    """Byte count and start time survive the packet round trip exactly."""
+    record = flow(size=float(int(size)), start=start, end=start + span)
+    packets = synthesize_packets(record, mtu=mtu)
+    # Use an idle gap longer than the flow so it is never split.
+    assembled = assemble_flows(packets, idle_gap=span + 61.0)
+    assert len(assembled) == 1
+    out = assembled[0]
+    assert out.size == pytest.approx(record.size)
+    assert out.start == pytest.approx(record.start)
+    assert out.end <= record.end + 1e-9

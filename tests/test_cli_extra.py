@@ -1,0 +1,130 @@
+"""Tests for the newer CLI commands: suite, workload, experiment."""
+
+import pytest
+
+from repro.capture.records import JobTrace, load_traces
+from repro.cli import main
+
+
+def test_suite_command_runs_and_saves(tmp_path, capsys):
+    code = main(["suite", "--mix", "micro", "--count", "2",
+                 "--arrivals", "uniform:4", "--nodes", "4",
+                 "--seed", "9", "-o", str(tmp_path / "suite")])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "makespan" in out
+    traces = load_traces(tmp_path / "suite")
+    assert len(traces) == 2
+
+
+def test_suite_rejects_bad_arrivals(capsys):
+    assert main(["suite", "--count", "1", "--arrivals", "fractal:1"]) == 2
+
+
+def test_workload_command(tmp_path, capsys):
+    # Build a model first via capture + fit.
+    trace_path = tmp_path / "cap.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.25",
+                 "--nodes", "4", "--seed", "5", "-o", str(trace_path)]) == 0
+    models = tmp_path / "models"
+    models.mkdir()
+    assert main(["fit", str(trace_path), "-o", str(models / "grep.json")]) == 0
+
+    workload_path = tmp_path / "wl.jsonl"
+    code = main(["workload", "--models", str(models),
+                 "--job", "grep:0.5:0", "--job", "grep:0.25:10",
+                 "--seed", "1", "-o", str(workload_path)])
+    assert code == 0
+    workload = JobTrace.from_jsonl(workload_path)
+    assert workload.meta.job_kind == "workload"
+    assert len({f.job_id for f in workload.flows}) == 2
+
+
+def test_workload_rejects_malformed_job_spec(tmp_path, capsys):
+    models = tmp_path / "m"
+    models.mkdir()
+    (models / "grep.json").write_text("{}")
+    code = main(["workload", "--models", str(models),
+                 "--job", "grep", "-o", str(tmp_path / "x.jsonl")])
+    assert code == 2
+
+
+def test_experiment_command_unknown_id(capsys):
+    assert main(["experiment", "e99"]) == 2
+    out = capsys.readouterr().out
+    assert "unknown experiment" in out
+
+
+def test_experiment_command_runs_one(capsys):
+    assert main(["experiment", "a3"]) == 0
+    out = capsys.readouterr().out
+    assert "A3" in out
+
+
+def test_report_full_prints_all_sections(tmp_path, capsys):
+    trace_path = tmp_path / "full.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.125",
+                 "--nodes", "4", "-o", str(trace_path)]) == 0
+    capsys.readouterr()
+    assert main(["report", str(trace_path), "--full"]) == 0
+    out = capsys.readouterr().out
+    assert "traffic hotspots" in out
+    assert "rack traffic matrix" in out
+    assert "traffic over time" in out
+
+
+def test_inspect_command(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.125",
+                 "--nodes", "4", "-o", str(trace_path)]) == 0
+    model_path = tmp_path / "m.json"
+    assert main(["fit", str(trace_path), "-o", str(model_path)]) == 0
+    capsys.readouterr()
+    assert main(["inspect", str(model_path)]) == 0
+    out = capsys.readouterr().out
+    assert "scaling laws" in out
+    assert "health checks" in out
+
+
+def test_diff_command(tmp_path, capsys):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.125",
+                 "--nodes", "4", "--seed", "1", "-o", str(a)]) == 0
+    assert main(["capture", "--job", "grep", "--input-gb", "0.25",
+                 "--nodes", "4", "--seed", "2", "-o", str(b)]) == 0
+    model_a, model_b = tmp_path / "a.json", tmp_path / "b.json"
+    assert main(["fit", str(a), "-o", str(model_a)]) == 0
+    assert main(["fit", str(b), "-o", str(model_b)]) == 0
+    capsys.readouterr()
+    assert main(["diff", str(model_a), str(model_b)]) == 0
+    out = capsys.readouterr().out
+    assert "model diff" in out
+
+
+def test_export_pcap_roundtrip(tmp_path, capsys):
+    from repro.capture.pcapfile import read_pcap
+
+    trace_path = tmp_path / "t.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.125",
+                 "--nodes", "4", "-o", str(trace_path)]) == 0
+    pcap_path = tmp_path / "t.pcap"
+    assert main(["export", str(trace_path), "--format", "pcap",
+                 "-o", str(pcap_path)]) == 0
+    packets = read_pcap(pcap_path)
+    assert packets
+
+
+def test_fit_bundle_writes_one_model_per_kind(tmp_path, capsys):
+    from repro.modeling.bundle import ModelBundle
+
+    a = tmp_path / "grep.jsonl"
+    b = tmp_path / "terasort.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.125",
+                 "--nodes", "4", "--seed", "1", "-o", str(a)]) == 0
+    assert main(["capture", "--job", "terasort", "--input-gb", "0.125",
+                 "--nodes", "4", "--seed", "2", "-o", str(b)]) == 0
+    models = tmp_path / "models"
+    assert main(["fit", str(a), str(b), "--bundle", "-o", str(models)]) == 0
+    bundle = ModelBundle.load(models)
+    assert bundle.kinds() == ["grep", "terasort"]

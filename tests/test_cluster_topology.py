@@ -1,0 +1,114 @@
+"""Unit tests for topology construction and routing."""
+
+import pytest
+
+from repro.cluster.topology import Host, Switch, build_topology
+from repro.cluster.units import GBPS
+
+
+def test_star_connects_all_hosts_to_one_switch():
+    topo = build_topology("star", num_hosts=5)
+    assert topo.kind == "star"
+    assert len(topo.hosts) == 5
+    switches = [n for n in topo.graph.nodes if isinstance(n, Switch)]
+    assert len(switches) == 1
+    assert all(host.rack == 0 for host in topo.hosts)
+
+
+def test_tree_rack_assignment_and_path_length():
+    topo = build_topology("tree", num_hosts=16, hosts_per_rack=4)
+    assert topo.racks == [0, 1, 2, 3]
+    a, b = topo.hosts_in_rack(0)[0], topo.hosts_in_rack(0)[1]
+    same_rack_path = topo.path(a, b)
+    assert len(same_rack_path) == 3  # host - tor - host
+    c = topo.hosts_in_rack(2)[0]
+    cross_rack_path = topo.path(a, c)
+    assert len(cross_rack_path) == 5  # host - tor - core - tor - host
+
+
+def test_path_to_self_is_trivial():
+    topo = build_topology("star", num_hosts=3)
+    host = topo.hosts[0]
+    assert topo.path(host, host) == [host]
+    assert topo.edges_on_path([host]) == []
+
+
+def test_path_is_deterministic():
+    topo = build_topology("leafspine", num_hosts=16, hosts_per_rack=4)
+    a, b = topo.hosts[0], topo.hosts[12]
+    assert topo.path(a, b) == topo.path(a, b)
+
+
+def test_leafspine_spreads_pairs_over_spines():
+    topo = build_topology("leafspine", num_hosts=32, hosts_per_rack=8)
+    spines_used = set()
+    src_rack = topo.hosts_in_rack(0)
+    dst_rack = topo.hosts_in_rack(1)
+    for src in src_rack:
+        for dst in dst_rack:
+            path = topo.path(src, dst)
+            spine = [n for n in path if isinstance(n, Switch) and n.tier == "spine"]
+            assert len(spine) == 1
+            spines_used.add(spine[0].name)
+    assert len(spines_used) > 1  # ECMP actually spreads load
+
+
+def test_tree_uplink_capacity_honours_oversubscription():
+    topo = build_topology("tree", num_hosts=8, hosts_per_rack=4,
+                          host_gbps=1.0, oversubscription=2.0)
+    tor = next(n for n in topo.graph.nodes
+               if isinstance(n, Switch) and n.tier == "tor")
+    core = next(n for n in topo.graph.nodes
+                if isinstance(n, Switch) and n.tier == "core")
+    host = topo.hosts[0]
+    host_capacity = topo.capacity(host, next(iter(topo.graph.neighbors(host))))
+    assert host_capacity == pytest.approx(1.0 * GBPS)
+    # 4 hosts/rack at 1 Gbit over 2:1 oversubscription -> 2 Gbit uplink.
+    assert topo.capacity(tor, core) == pytest.approx(2.0 * GBPS)
+
+
+def test_fattree_k4_supports_16_hosts():
+    topo = build_topology("fattree", num_hosts=16, fattree_k=4)
+    assert len(topo.hosts) == 16
+    # k=4 fat-tree: 4 core + 8 agg + 8 edge switches.
+    switches = [n for n in topo.graph.nodes if isinstance(n, Switch)]
+    assert len(switches) == 20
+    a, b = topo.hosts[0], topo.hosts[15]
+    path = topo.path(a, b)
+    assert len(path) == 7  # host-edge-agg-core-agg-edge-host
+
+
+def test_fattree_rejects_too_many_hosts():
+    with pytest.raises(ValueError):
+        build_topology("fattree", num_hosts=32, fattree_k=4)
+
+
+def test_fattree_auto_k():
+    topo = build_topology("fattree", num_hosts=20)
+    assert len(topo.hosts) == 20  # k=6 chosen automatically (54 max)
+
+
+def test_unknown_kind_raises():
+    with pytest.raises(ValueError):
+        build_topology("butterfly", num_hosts=4)
+
+
+def test_invalid_params_raise():
+    with pytest.raises(ValueError):
+        build_topology("star", num_hosts=0)
+    with pytest.raises(ValueError):
+        build_topology("star", num_hosts=4, host_gbps=0)
+
+
+def test_host_lookup_by_name():
+    topo = build_topology("star", num_hosts=4)
+    assert topo.host("h002") == topo.hosts[2]
+    with pytest.raises(KeyError):
+        topo.host("h099")
+
+
+def test_bisection_links_tree():
+    topo = build_topology("tree", num_hosts=8, hosts_per_rack=4)
+    crossing = topo.bisection_links()
+    assert len(crossing) == 2  # two ToR-core edges
+    assert all(isinstance(u, Switch) and isinstance(v, Switch) for u, v in crossing)

@@ -1,0 +1,80 @@
+"""Tests for cross-traffic generation and interference replay."""
+
+import pytest
+
+from repro.cluster.config import HadoopConfig
+from repro.cluster.units import MB
+from repro.experiments.campaigns import capture
+from repro.generation.crosstraffic import (
+    CROSS_TRAFFIC_SERVICE,
+    CrossTrafficSpec,
+    generate_cross_traffic,
+    replay_with_cross_traffic,
+)
+
+HOSTS = [(f"h{i:03d}", i // 4) for i in range(8)]
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(load_fraction=0.0)
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(load_fraction=1.5)
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(pairs=0)
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(pattern="fractal")
+    with pytest.raises(ValueError):
+        CrossTrafficSpec(chunk_bytes=0)
+
+
+def test_constant_pattern_offers_target_load():
+    spec = CrossTrafficSpec(load_fraction=0.25, pairs=1, chunk_bytes=1.0 * MB)
+    duration = 20.0
+    flows = generate_cross_traffic(HOSTS, duration, spec, seed=1)
+    offered = sum(f.size for f in flows) / duration
+    target = 0.25 * spec.link_rate
+    assert offered == pytest.approx(target, rel=0.1)
+    assert all(f.service == CROSS_TRAFFIC_SERVICE for f in flows)
+    assert all(f.src != f.dst for f in flows)
+    starts = [f.start for f in flows]
+    assert starts == sorted(starts)
+
+
+def test_onoff_pattern_is_bursty():
+    spec = CrossTrafficSpec(load_fraction=0.2, pairs=1, pattern="onoff",
+                            chunk_bytes=1.0 * MB, on_mean_s=1.0, off_mean_s=3.0)
+    flows = generate_cross_traffic(HOSTS, 60.0, spec, seed=2)
+    assert flows
+    gaps = [b.start - a.start for a, b in zip(flows, flows[1:])]
+    # Bursts: many back-to-back chunks plus long silences.
+    assert max(gaps) > 20 * min(g for g in gaps if g > 0)
+
+
+def test_generation_validation():
+    with pytest.raises(ValueError):
+        generate_cross_traffic(HOSTS, duration=0.0)
+    with pytest.raises(ValueError):
+        generate_cross_traffic(HOSTS[:1], duration=10.0)
+
+
+def test_generation_is_deterministic():
+    a = generate_cross_traffic(HOSTS, 10.0, seed=3)
+    b = generate_cross_traffic(HOSTS, 10.0, seed=3)
+    assert [(f.src, f.dst, f.start) for f in a] == \
+           [(f.src, f.dst, f.start) for f in b]
+    c = generate_cross_traffic(HOSTS, 10.0, seed=4)
+    assert [(f.src, f.dst, f.start) for f in a] != \
+           [(f.src, f.dst, f.start) for f in c]
+
+
+def test_interference_inflates_hadoop_fct():
+    _, trace = capture("terasort", 0.5, seed=21)
+    spec = CrossTrafficSpec(load_fraction=0.6, pairs=6)
+    report = replay_with_cross_traffic(trace, spec, seed=5)
+    assert report.cross_traffic_bytes > 0
+    # Background load can only slow Hadoop flows down.
+    assert report.fct_inflation >= 1.0 - 1e-9
+    assert report.contended.total_bytes > report.clean.total_bytes
+    # Heavy load must produce measurable inflation.
+    assert report.fct_inflation > 1.01

@@ -1,0 +1,26 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report import generate_report, write_report
+
+
+def test_generate_report_single_experiment():
+    text = generate_report(["e07"])
+    assert text.startswith("# Keddah evaluation report")
+    assert "## E07 — HDFS write traffic vs replication factor" in text
+    assert "E7: HDFS write traffic" in text
+    assert text.count("```") % 2 == 0  # balanced code fences
+
+
+def test_generate_report_rejects_unknown_ids():
+    with pytest.raises(ValueError):
+        generate_report(["e99"])
+
+
+def test_write_report_to_disk(tmp_path):
+    path = write_report(tmp_path / "report.md", ["a3"],
+                        title="Smoke report")
+    text = path.read_text()
+    assert text.startswith("# Smoke report")
+    assert "A3" in text

@@ -1,0 +1,59 @@
+"""Tests for the OMNeT++ and JSON exporters."""
+
+import json
+
+import pytest
+
+from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
+from repro.generation.export import to_json, to_omnet_ini
+
+
+@pytest.fixture
+def trace():
+    meta = CaptureMeta(job_id="j1", job_kind="terasort", input_bytes=1e9)
+    flows = [
+        FlowRecord(src="h000", dst="h001", src_rack=0, dst_rack=0,
+                   src_port=13562, dst_port=50001, size=1000.0,
+                   start=5.0, end=6.0, component="shuffle"),
+        FlowRecord(src="h001", dst="h002", src_rack=0, dst_rack=1,
+                   src_port=40000, dst_port=50010, size=2000.0,
+                   start=7.0, end=9.0, component="hdfs_write"),
+    ]
+    return JobTrace(meta=meta, flows=flows)
+
+
+def test_omnet_ini_structure(tmp_path, trace):
+    path = tmp_path / "omnetpp.ini"
+    count = to_omnet_ini(trace, path, network="TestNet")
+    text = path.read_text()
+    assert count == 2
+    assert "network = TestNet" in text
+    assert text.count('typename = "TcpSessionApp"') == 2
+    # Every distinct destination port gets a sink on every host.
+    hosts = 3
+    ports = 2
+    assert text.count('typename = "TcpSinkApp"') == hosts * ports
+    # Start times are rebased to the first flow.
+    assert "tOpen = 0.000000000s" in text
+    assert "tOpen = 2.000000000s" in text
+    assert "sendBytes = 1000B" in text
+
+
+def test_omnet_numapps_accounting(tmp_path, trace):
+    path = tmp_path / "omnetpp.ini"
+    to_omnet_ini(trace, path)
+    text = path.read_text()
+    # h000 sends 1 flow + 2 sinks = 3 apps; h002 sends none + 2 sinks.
+    assert "*.host[0].numApps = 3" in text
+    assert "*.host[2].numApps = 2" in text
+
+
+def test_json_export_roundtrips(tmp_path, trace):
+    path = tmp_path / "trace.json"
+    count = to_json(trace, path)
+    assert count == 2
+    payload = json.loads(path.read_text())
+    assert payload["meta"]["job_id"] == "j1"
+    assert len(payload["flows"]) == 2
+    rebuilt = [FlowRecord.from_dict(f) for f in payload["flows"]]
+    assert rebuilt == trace.flows

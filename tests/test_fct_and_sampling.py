@@ -1,0 +1,131 @@
+"""Tests for the analytic TCP FCT model and sampled-capture modelling."""
+
+import numpy as np
+import pytest
+
+from repro.capture.pcap import PacketRecord, synthesize_packets
+from repro.capture.records import FlowRecord
+from repro.capture.sampling import (
+    assemble_sampled,
+    sample_packets,
+    sampling_loss,
+    scale_sampled_flows,
+)
+from repro.net.fct import compare_to_fluid, slow_start_rounds, tcp_fct
+
+GBPS = 1e9 / 8.0
+
+
+# -- tcp fct ---------------------------------------------------------------------
+
+
+def test_zero_byte_flow_costs_one_rtt():
+    assert tcp_fct(0, rtt=0.001, bandwidth=GBPS) == pytest.approx(0.001)
+
+
+def test_bulk_flow_approaches_line_rate():
+    size = 1.0 * GBPS  # one second of data
+    fct = tcp_fct(size, rtt=0.0001, bandwidth=GBPS)
+    assert fct == pytest.approx(1.0, rel=0.02)
+
+
+def test_small_flow_is_rtt_dominated():
+    size = 14_480  # 10 segments: fits in the initial window
+    rtt = 0.01
+    fct = tcp_fct(size, rtt=rtt, bandwidth=GBPS)
+    # Handshake + ~no slow-start rounds + negligible serialisation.
+    assert fct < 3 * rtt
+    assert fct >= rtt
+
+
+def test_slow_start_rounds_double_each_rtt():
+    # 100 segments with IW10 and a huge BDP: 10+20+40+80 -> 4 rounds.
+    size = 100 * 1448
+    assert slow_start_rounds(size, rtt=0.1, bandwidth=10 * GBPS) == 4
+    assert slow_start_rounds(0, rtt=0.1, bandwidth=GBPS) == 0
+
+
+def test_fct_monotone_in_size_and_rtt():
+    sizes = [1e3, 1e5, 1e7, 1e9]
+    fcts = [tcp_fct(s, rtt=0.001, bandwidth=GBPS) for s in sizes]
+    assert fcts == sorted(fcts)
+    assert tcp_fct(1e6, 0.01, GBPS) > tcp_fct(1e6, 0.001, GBPS)
+
+
+def test_fct_validation():
+    with pytest.raises(ValueError):
+        tcp_fct(-1, 0.001, GBPS)
+    with pytest.raises(ValueError):
+        tcp_fct(1, -0.1, GBPS)
+    with pytest.raises(ValueError):
+        tcp_fct(1, 0.001, 0)
+
+
+def test_compare_to_fluid_flags_small_flow_optimism():
+    sizes = [1e3, 1e9]
+    # The fluid model gives size/bandwidth durations.
+    fluid = [s / GBPS for s in sizes]
+    comparisons = compare_to_fluid(sizes, fluid, rtt=0.001, bandwidth=GBPS)
+    small, big = comparisons
+    assert small.ratio < 0.1  # fluid wildly optimistic for tiny flows
+    assert big.ratio == pytest.approx(1.0, rel=0.05)
+    with pytest.raises(ValueError):
+        compare_to_fluid([1.0], [], rtt=0.001, bandwidth=GBPS)
+
+
+# -- sampling --------------------------------------------------------------------
+
+
+def flow(size, dport, start=0.0):
+    return FlowRecord(src="h001", dst="h002", src_rack=0, dst_rack=0,
+                      src_port=13562, dst_port=dport, size=size,
+                      start=start, end=start + 2.0, component="shuffle")
+
+
+def test_sample_packets_rate_one_is_identity():
+    packets = synthesize_packets(flow(10_000.0, 49000))
+    assert sample_packets(packets, rate=1) == packets
+
+
+def test_sample_packets_keeps_about_one_in_n():
+    packets = synthesize_packets(flow(10_000_000.0, 49000))
+    sampled = sample_packets(packets, rate=10, seed=1)
+    assert len(sampled) == pytest.approx(len(packets) / 10, rel=0.2)
+
+
+def test_scale_recovers_volume_of_large_flows():
+    packets = synthesize_packets(flow(50_000_000.0, 49000))
+    flows = assemble_sampled(packets, rate=16, seed=2)
+    assert len(flows) == 1
+    assert flows[0].size == pytest.approx(50_000_000.0, rel=0.15)
+
+
+def test_small_flows_vanish_under_sampling():
+    rng = np.random.default_rng(3)
+    packets = []
+    for index in range(200):  # 200 one-packet flows
+        packets.append(PacketRecord(float(index), "h001", "h002",
+                                    13562, 40000 + index, 500))
+    flows = assemble_sampled(packets, rate=20, seed=3)
+    # Roughly 1/20 of single-packet flows survive.
+    assert len(flows) < 40
+
+
+def test_sampling_loss_report():
+    original_packets = [p for dport in (49000, 49001)
+                        for p in synthesize_packets(flow(20_000_000.0, dport))]
+    from repro.capture.pcap import assemble_flows
+
+    original = assemble_flows(original_packets)
+    sampled = assemble_sampled(original_packets, rate=8, seed=4)
+    loss = sampling_loss(original, sampled)
+    assert loss["original_flows"] == 2
+    assert 0 < loss["flow_survival"] <= 1.0
+    assert loss["volume_error"] < 0.2
+
+
+def test_sampling_validation():
+    with pytest.raises(ValueError):
+        sample_packets([], rate=0)
+    with pytest.raises(ValueError):
+        scale_sampled_flows([], rate=0)

@@ -1,0 +1,182 @@
+"""Tests for the generation stage: sampling, replay, export."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.capture.classifier import classify_flow
+from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
+from repro.cluster.units import GB
+from repro.generation.export import to_flow_schedule_csv, to_ns3_script
+from repro.generation.generator import generate_trace, worker_names
+from repro.generation.replay import replay_trace
+from repro.modeling.model import fit_job_model
+
+
+def captured_trace(input_gb=1.0, n_shuffle=40, n_read=10):
+    rng = np.random.default_rng(0)
+    meta = CaptureMeta(job_id=f"cap{input_gb}", job_kind="testjob",
+                       input_bytes=input_gb * GB,
+                       submit_time=0.0, finish_time=30.0 * input_gb,
+                       cluster={"num_nodes": 8, "hosts_per_rack": 4,
+                                "topology": "tree", "host_gbps": 1.0,
+                                "oversubscription": 1.0,
+                                "disk_read_rate": 157286400.0,
+                                "disk_write_rate": 125829120.0,
+                                "containers_per_node": 4},
+                       hadoop={"replication": 3})
+    flows = []
+    t = 2.0
+    for i in range(int(n_shuffle * input_gb)):
+        size = float(rng.lognormal(np.log(5e6), 0.4))
+        flows.append(FlowRecord(src=f"h{1 + i % 8:03d}", dst=f"h{1 + (i + 3) % 8:03d}",
+                                src_rack=0, dst_rack=1, src_port=13562,
+                                dst_port=49000 + i, size=size, start=t, end=t + 1,
+                                component="shuffle"))
+        t += float(rng.exponential(0.2))
+    t = 0.5
+    for i in range(int(n_read * input_gb)):
+        flows.append(FlowRecord(src=f"h{1 + i % 8:03d}", dst=f"h{1 + (i + 1) % 8:03d}",
+                                src_rack=0, dst_rack=0, src_port=50010,
+                                dst_port=48000 + i, size=64e6, start=t, end=t + 2,
+                                component="hdfs_read"))
+        t += 0.5
+    return JobTrace(meta=meta, flows=flows)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit_job_model([captured_trace(1.0), captured_trace(2.0),
+                          captured_trace(4.0)])
+
+
+def test_worker_names_match_topology_convention(model):
+    names = worker_names(model)
+    assert len(names) == 8
+    assert names[0] == ("h000", 0)
+    assert names[-1] == ("h007", 1)
+
+
+def test_generated_counts_follow_scaling_law(model):
+    trace = generate_trace(model, input_gb=8.0, seed=1)
+    shuffle = trace.component("shuffle")
+    assert len(shuffle) == pytest.approx(320, abs=10)
+    reads = trace.component("hdfs_read")
+    assert len(reads) == pytest.approx(80, abs=5)
+
+
+def test_generated_volume_is_calibrated(model):
+    trace = generate_trace(model, input_gb=2.0, seed=2)
+    expected = model.components["shuffle"].expected_volume(2.0)
+    assert trace.total_bytes("shuffle") == pytest.approx(expected, rel=1e-6)
+
+
+def test_generation_without_calibration_still_close(model):
+    trace = generate_trace(model, input_gb=2.0, seed=2, calibrate_volume=False)
+    expected = model.components["shuffle"].expected_volume(2.0)
+    assert trace.total_bytes("shuffle") == pytest.approx(expected, rel=0.5)
+
+
+def test_generated_flows_are_classifiable_and_marked_synthetic(model):
+    trace = generate_trace(model, input_gb=1.0, seed=3)
+    assert trace.meta.extra["synthetic"] is True
+    for flow in trace.flows:
+        assert classify_flow(flow).value == flow.component
+        assert flow.src != flow.dst
+
+
+def test_generated_starts_are_sorted_and_offset(model):
+    trace = generate_trace(model, input_gb=1.0, seed=4)
+    starts = [flow.start for flow in trace.flows]
+    assert starts == sorted(starts)
+    reads = trace.flow_starts("hdfs_read")
+    shuffles = trace.flow_starts("shuffle")
+    # Component phase structure survives: reads begin before shuffle.
+    assert reads[0] < shuffles[0]
+
+
+def test_generation_is_deterministic(model):
+    a = generate_trace(model, input_gb=1.0, seed=5)
+    b = generate_trace(model, input_gb=1.0, seed=5)
+    assert [(f.src, f.dst, f.size, f.start) for f in a.flows] == \
+           [(f.src, f.dst, f.size, f.start) for f in b.flows]
+    c = generate_trace(model, input_gb=1.0, seed=6)
+    assert [(f.size) for f in a.flows] != [(f.size) for f in c.flows]
+
+
+def test_generate_rejects_negative_input(model):
+    with pytest.raises(ValueError):
+        generate_trace(model, input_gb=-1.0)
+
+
+# -- replay ------------------------------------------------------------------------
+
+
+def test_replay_conserves_bytes_and_counts():
+    trace = captured_trace(1.0)
+    report = replay_trace(trace)
+    assert report.flow_count == len(trace.flows)
+    assert report.total_bytes == pytest.approx(trace.total_bytes())
+    assert report.makespan > 0
+    assert set(report.component_bytes) == {"shuffle", "hdfs_read"}
+
+
+def test_replay_synthetic_trace(model):
+    synthetic = generate_trace(model, input_gb=1.0, seed=7)
+    report = replay_trace(synthetic)
+    assert report.flow_count == len(synthetic.flows)
+    assert 0 < report.peak_link_utilisation <= 1.0 + 1e-9
+    assert report.mean_flow_duration > 0
+
+
+def test_replay_time_scale_compresses_schedule():
+    trace = captured_trace(1.0)
+    slow = replay_trace(trace, time_scale=1.0)
+    fast = replay_trace(trace, time_scale=0.1)
+    assert fast.makespan < slow.makespan
+
+
+def test_replay_maps_unknown_hosts():
+    trace = captured_trace(1.0)
+    for flow in trace.flows:
+        flow.src = "alien-" + flow.src
+    report = replay_trace(trace)
+    assert report.flow_count == len(trace.flows)
+
+
+def test_replay_rejects_bad_time_scale():
+    with pytest.raises(ValueError):
+        replay_trace(captured_trace(1.0), time_scale=0.0)
+
+
+# -- export -------------------------------------------------------------------------
+
+
+def test_flow_schedule_csv(tmp_path, model):
+    trace = generate_trace(model, input_gb=1.0, seed=8)
+    path = tmp_path / "schedule.csv"
+    count = to_flow_schedule_csv(trace, path)
+    assert count == len(trace.flows)
+    with path.open() as handle:
+        rows = list(csv.DictReader(handle))
+    assert len(rows) == count
+    assert float(rows[0]["start"]) == pytest.approx(0.0)
+    starts = [float(row["start"]) for row in rows]
+    assert starts == sorted(starts)
+    assert {row["component"] for row in rows} <= {"shuffle", "hdfs_read",
+                                                  "hdfs_write", "control"}
+
+
+def test_ns3_export_is_structurally_valid(tmp_path, model):
+    trace = generate_trace(model, input_gb=1.0, seed=9)
+    path = tmp_path / "replay.cc"
+    count = to_ns3_script(trace, path)
+    text = path.read_text()
+    assert count == len(trace.flows)
+    assert text.count("BulkSendHelper") == count
+    assert "PacketSinkHelper" in text
+    assert "Simulator::Run()" in text
+    assert text.count("{") == text.count("}")
+    hosts = {flow.src for flow in trace.flows} | {flow.dst for flow in trace.flows}
+    assert f"nodes.Create({len(hosts)})" in text

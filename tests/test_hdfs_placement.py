@@ -1,0 +1,115 @@
+"""Unit + property tests for block placement policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.topology import build_topology
+from repro.hdfs.placement import DefaultPlacementPolicy, RandomPlacementPolicy
+
+
+def hosts(num=16, per_rack=4):
+    return build_topology("tree", num_hosts=num, hosts_per_rack=per_rack).hosts
+
+
+def test_default_first_replica_is_writer():
+    pool = hosts()
+    policy = DefaultPlacementPolicy()
+    rng = np.random.default_rng(0)
+    writer = pool[5]
+    targets = policy.choose_targets(pool, 3, writer, rng)
+    assert targets[0] == writer
+
+
+def test_default_second_replica_off_rack_third_same_rack_as_second():
+    pool = hosts()
+    policy = DefaultPlacementPolicy()
+    rng = np.random.default_rng(0)
+    writer = pool[0]
+    for _ in range(50):
+        first, second, third = policy.choose_targets(pool, 3, writer, rng)
+        assert second.rack != first.rack
+        assert third.rack == second.rack
+        assert third != second
+
+
+def test_default_targets_are_distinct_hosts():
+    pool = hosts()
+    policy = DefaultPlacementPolicy()
+    rng = np.random.default_rng(1)
+    for replication in (1, 2, 3, 5):
+        targets = policy.choose_targets(pool, replication, pool[3], rng)
+        assert len(targets) == replication
+        assert len(set(targets)) == replication
+
+
+def test_default_single_rack_degrades_to_distinct_nodes():
+    pool = build_topology("star", num_hosts=6).hosts  # all rack 0
+    policy = DefaultPlacementPolicy()
+    rng = np.random.default_rng(2)
+    targets = policy.choose_targets(pool, 3, pool[0], rng)
+    assert len(set(targets)) == 3
+    assert targets[0] == pool[0]
+
+
+def test_default_replication_clamped_to_cluster_size():
+    pool = build_topology("star", num_hosts=2).hosts
+    policy = DefaultPlacementPolicy()
+    targets = policy.choose_targets(pool, 3, pool[0], np.random.default_rng(0))
+    assert len(targets) == 2
+
+
+def test_default_writer_not_a_datanode_picks_random_first():
+    pool = hosts()
+    outsider = build_topology("star", num_hosts=1).hosts[0]
+    policy = DefaultPlacementPolicy()
+    targets = policy.choose_targets(pool, 3, outsider, np.random.default_rng(0))
+    assert targets[0] in pool
+
+
+def test_random_policy_distinct_hosts():
+    pool = hosts()
+    policy = RandomPlacementPolicy()
+    rng = np.random.default_rng(3)
+    targets = policy.choose_targets(pool, 3, pool[0], rng)
+    assert len(set(targets)) == 3
+
+
+def test_random_policy_ignores_writer_preference():
+    pool = hosts(num=32, per_rack=8)
+    policy = RandomPlacementPolicy()
+    rng = np.random.default_rng(4)
+    hits = sum(policy.choose_targets(pool, 3, pool[0], rng)[0] == pool[0]
+               for _ in range(200))
+    # Writer should appear first ~1/32 of the time, far below always.
+    assert hits < 40
+
+
+def test_empty_pool_raises():
+    with pytest.raises(ValueError):
+        DefaultPlacementPolicy().choose_targets([], 3, None, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        RandomPlacementPolicy().choose_targets([], 3, None, np.random.default_rng(0))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    num_hosts=st.integers(min_value=1, max_value=40),
+    per_rack=st.integers(min_value=1, max_value=10),
+    replication=st.integers(min_value=1, max_value=6),
+    writer_index=st.integers(min_value=0, max_value=39),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_default_policy_properties(num_hosts, per_rack, replication, writer_index, seed):
+    pool = build_topology("tree", num_hosts=num_hosts, hosts_per_rack=per_rack).hosts
+    writer = pool[writer_index % num_hosts]
+    targets = DefaultPlacementPolicy().choose_targets(
+        pool, replication, writer, np.random.default_rng(seed))
+    # Size is min(replication, cluster), all distinct, writer-first.
+    assert len(targets) == min(replication, num_hosts)
+    assert len(set(targets)) == len(targets)
+    assert targets[0] == writer
+    # Rack-awareness whenever a second rack exists.
+    if len(targets) >= 2 and len({h.rack for h in pool}) > 1:
+        assert targets[1].rack != targets[0].rack

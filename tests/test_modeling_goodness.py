@@ -1,0 +1,129 @@
+"""Tests for AD statistics, Q-Q points, bootstrap and scaling laws."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.modeling.distributions import fit_family
+from repro.modeling.goodness import anderson_darling, bootstrap_ks_pvalue, qq_points
+from repro.modeling.scaling import LinearLaw, PowerLaw, best_scaling_law
+
+
+def test_anderson_darling_small_for_true_model():
+    rng = np.random.default_rng(0)
+    data = rng.normal(loc=5.0, scale=2.0, size=2000)
+    a2 = anderson_darling(data, lambda x: stats.norm.cdf(x, 5.0, 2.0))
+    assert a2 < 2.5
+
+
+def test_anderson_darling_large_for_wrong_model():
+    rng = np.random.default_rng(1)
+    data = rng.exponential(scale=1.0, size=2000)
+    a2 = anderson_darling(data, lambda x: stats.norm.cdf(x, 0.0, 1.0))
+    assert a2 > 50.0
+
+
+@pytest.mark.filterwarnings("ignore::FutureWarning")  # scipy.anderson API change
+def test_anderson_darling_matches_scipy_normal_case():
+    rng = np.random.default_rng(2)
+    data = rng.normal(size=500)
+    # scipy's anderson() fits mu/sigma; do the same for comparability.
+    mu, sigma = data.mean(), data.std(ddof=1)
+    ours = anderson_darling(data, lambda x: stats.norm.cdf(x, mu, sigma))
+    scipys = stats.anderson(data, dist="norm").statistic
+    assert ours == pytest.approx(scipys, rel=1e-6)
+
+
+def test_anderson_darling_rejects_empty():
+    with pytest.raises(ValueError):
+        anderson_darling([], stats.norm.cdf)
+
+
+def test_qq_points_on_true_model_lie_on_diagonal():
+    rng = np.random.default_rng(3)
+    data = rng.exponential(scale=4.0, size=5000)
+    pairs = qq_points(data, lambda p: stats.expon.ppf(p, scale=4.0), points=16)
+    assert len(pairs) == 16
+    for theoretical, empirical in pairs:
+        assert empirical == pytest.approx(theoretical, rel=0.25)
+
+
+def test_qq_rejects_empty():
+    with pytest.raises(ValueError):
+        qq_points([], lambda p: p)
+
+
+def test_bootstrap_pvalue_high_for_true_family():
+    rng = np.random.default_rng(4)
+    data = rng.exponential(scale=2.0, size=300)
+    fitted = fit_family("exponential", data)
+    p = bootstrap_ks_pvalue(data, fitted,
+                            refit=lambda s: fit_family("exponential", s),
+                            rounds=60, seed=1)
+    assert p > 0.05
+
+
+def test_bootstrap_pvalue_low_for_wrong_family():
+    rng = np.random.default_rng(5)
+    data = rng.uniform(1.0, 2.0, size=400)
+    fitted = fit_family("exponential", data)
+    p = bootstrap_ks_pvalue(data, fitted,
+                            refit=lambda s: fit_family("exponential", s),
+                            rounds=60, seed=2)
+    assert p < 0.05
+
+
+def test_bootstrap_validation():
+    fitted = fit_family("exponential", [1.0, 2.0, 3.0])
+    with pytest.raises(ValueError):
+        bootstrap_ks_pvalue([], fitted, refit=lambda s: fitted)
+    with pytest.raises(ValueError):
+        bootstrap_ks_pvalue([1.0], fitted, refit=lambda s: fitted, rounds=0)
+
+
+# -- power law ------------------------------------------------------------------
+
+
+def test_power_law_recovers_exponent():
+    xs = [1.0, 2.0, 4.0, 8.0]
+    ys = [3.0 * x ** 1.5 for x in xs]
+    law = PowerLaw.fit(xs, ys)
+    assert law.exponent == pytest.approx(1.5)
+    assert law.coefficient == pytest.approx(3.0)
+    assert law.predict(16.0) == pytest.approx(3.0 * 16 ** 1.5)
+    assert law.predict(0.0) == 0.0
+
+
+def test_power_law_single_point_assumes_linear():
+    law = PowerLaw.fit([2.0], [10.0])
+    assert law.exponent == 1.0
+    assert law.predict(4.0) == pytest.approx(20.0)
+
+
+def test_power_law_validation_and_roundtrip():
+    with pytest.raises(ValueError):
+        PowerLaw.fit([1.0, -1.0], [1.0, 1.0])
+    with pytest.raises(ValueError):
+        PowerLaw.fit([], [])
+    law = PowerLaw(2.0, 0.5)
+    assert PowerLaw.from_dict(law.to_dict()) == law
+
+
+def test_best_scaling_law_picks_power_for_quadratic():
+    xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+    ys = [x ** 2 for x in xs]
+    law = best_scaling_law(xs, ys)
+    assert isinstance(law, PowerLaw)
+    assert law.exponent == pytest.approx(2.0)
+
+
+def test_best_scaling_law_picks_linear_for_affine():
+    xs = [1.0, 2.0, 4.0, 8.0]
+    ys = [10.0 * x + 5.0 for x in xs]
+    law = best_scaling_law(xs, ys)
+    assert isinstance(law, LinearLaw)
+
+
+def test_best_scaling_law_falls_back_on_nonpositive_data():
+    law = best_scaling_law([1.0, 2.0], [0.0, 5.0])
+    assert isinstance(law, LinearLaw)

@@ -1,0 +1,109 @@
+"""Unit + property tests for max-min fair allocation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.fairshare import allocation_is_feasible, bottlenecked_flows, max_min_rates
+
+
+def test_single_flow_gets_full_bottleneck():
+    rates = max_min_rates({"f": ["l1", "l2"]}, {"l1": 100.0, "l2": 40.0})
+    assert rates["f"] == pytest.approx(40.0)
+
+
+def test_equal_flows_split_link_evenly():
+    rates = max_min_rates({"a": ["l"], "b": ["l"], "c": ["l"], "d": ["l"]}, {"l": 100.0})
+    assert all(rate == pytest.approx(25.0) for rate in rates.values())
+
+
+def test_classic_two_bottleneck_example():
+    # a crosses both links; b only l1; c only l2.
+    # l1=10 shared by {a,b}; l2=4 shared by {a,c}.
+    # Progressive filling: level 2 freezes a,c at l2; b then takes 8 on l1.
+    rates = max_min_rates(
+        {"a": ["l1", "l2"], "b": ["l1"], "c": ["l2"]},
+        {"l1": 10.0, "l2": 4.0})
+    assert rates["a"] == pytest.approx(2.0)
+    assert rates["c"] == pytest.approx(2.0)
+    assert rates["b"] == pytest.approx(8.0)
+
+
+def test_flow_cap_is_respected_and_residual_redistributed():
+    rates = max_min_rates(
+        {"capped": ["l"], "free": ["l"]},
+        {"l": 100.0},
+        caps={"capped": 10.0})
+    assert rates["capped"] == pytest.approx(10.0)
+    assert rates["free"] == pytest.approx(90.0)
+
+
+def test_cap_above_fair_share_is_inert():
+    rates = max_min_rates(
+        {"a": ["l"], "b": ["l"]},
+        {"l": 100.0},
+        caps={"a": 500.0})
+    assert rates["a"] == pytest.approx(50.0)
+    assert rates["b"] == pytest.approx(50.0)
+
+
+def test_linkless_flow_gets_cap_or_infinity():
+    rates = max_min_rates({"local": [], "capped_local": []}, {}, caps={"capped_local": 7.0})
+    assert rates["local"] == float("inf")
+    assert rates["capped_local"] == 7.0
+
+
+def test_empty_input():
+    assert max_min_rates({}, {}) == {}
+
+
+def test_zero_capacity_link_raises():
+    with pytest.raises(ValueError):
+        max_min_rates({"f": ["l"]}, {"l": 0.0})
+
+
+def _random_scenario(draw):
+    num_links = draw(st.integers(min_value=1, max_value=6))
+    links = [f"l{i}" for i in range(num_links)]
+    capacities = {
+        link: draw(st.floats(min_value=1.0, max_value=1000.0,
+                             allow_nan=False, allow_infinity=False))
+        for link in links
+    }
+    num_flows = draw(st.integers(min_value=1, max_value=10))
+    flow_links = {}
+    caps = {}
+    for flow_index in range(num_flows):
+        path = draw(st.lists(st.sampled_from(links), min_size=1, max_size=3, unique=True))
+        flow_links[f"f{flow_index}"] = path
+        if draw(st.booleans()):
+            caps[f"f{flow_index}"] = draw(
+                st.floats(min_value=0.5, max_value=2000.0,
+                          allow_nan=False, allow_infinity=False))
+    return flow_links, capacities, caps
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.data())
+def test_max_min_properties(data):
+    """Feasibility + everyone-bottlenecked + cap respect on random networks."""
+    flow_links, capacities, caps = _random_scenario(data.draw)
+    rates = max_min_rates(flow_links, capacities, caps)
+
+    assert set(rates) == set(flow_links)
+    assert all(rate >= 0 for rate in rates.values())
+    assert allocation_is_feasible(rates, flow_links, capacities)
+    for flow, cap in caps.items():
+        assert rates[flow] <= cap * (1 + 1e-6)
+    # Max-min optimality certificate: every flow is bottlenecked.
+    blocked = bottlenecked_flows(rates, flow_links, capacities, caps)
+    assert all(blocked.values()), f"non-bottlenecked flows in {rates}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.data())
+def test_max_min_is_deterministic(data):
+    flow_links, capacities, caps = _random_scenario(data.draw)
+    first = max_min_rates(flow_links, capacities, caps)
+    second = max_min_rates(flow_links, capacities, caps)
+    assert first == second

@@ -1,0 +1,125 @@
+"""Unit tests for the scheduler policies."""
+
+import pytest
+
+from repro.yarn.containers import Resources
+from repro.yarn.schedulers import (
+    CapacityScheduler,
+    DrfScheduler,
+    FairScheduler,
+    FifoScheduler,
+    make_scheduler,
+)
+from repro.yarn.schedulers.base import AppUsage
+
+TOTAL = Resources(vcores=64, memory_mb=64 * 1024)
+
+
+def app(app_id, order, pending=1, memory=0, vcores=0, queue="default",
+        unit=Resources()):
+    return AppUsage(app_id=app_id, queue=queue, submit_order=order,
+                    pending=pending, usage=Resources(vcores, memory),
+                    container_unit=unit)
+
+
+def test_fifo_picks_earliest_submission():
+    scheduler = FifoScheduler()
+    chosen = scheduler.select_app([app("b", 2), app("a", 1), app("c", 3)], TOTAL)
+    assert chosen.app_id == "a"
+
+
+def test_fifo_empty_returns_none():
+    assert FifoScheduler().select_app([], TOTAL) is None
+
+
+def test_fair_picks_smallest_memory_usage():
+    scheduler = FairScheduler()
+    chosen = scheduler.select_app(
+        [app("hog", 1, memory=8192), app("starved", 2, memory=1024)], TOTAL)
+    assert chosen.app_id == "starved"
+
+
+def test_fair_ties_break_by_submission():
+    scheduler = FairScheduler()
+    chosen = scheduler.select_app(
+        [app("later", 5, memory=1024), app("earlier", 2, memory=1024)], TOTAL)
+    assert chosen.app_id == "earlier"
+
+
+def test_capacity_serves_most_underserved_queue():
+    scheduler = CapacityScheduler({"prod": 0.7, "research": 0.3})
+    # prod uses 10% of cluster against 70% capacity -> ratio 0.14;
+    # research uses 10% against 30% -> ratio 0.33.  prod wins.
+    candidates = [
+        app("p", 2, memory=int(TOTAL.memory_mb * 0.10), queue="prod"),
+        app("r", 1, memory=int(TOTAL.memory_mb * 0.10), queue="research"),
+    ]
+    assert scheduler.select_app(candidates, TOTAL).app_id == "p"
+
+
+def test_capacity_fifo_within_queue():
+    scheduler = CapacityScheduler({"default": 1.0})
+    candidates = [app("second", 2), app("first", 1)]
+    assert scheduler.select_app(candidates, TOTAL).app_id == "first"
+
+
+def test_capacity_unknown_queue_falls_back_to_default():
+    scheduler = CapacityScheduler({"default": 0.5, "prod": 0.5})
+    candidates = [
+        app("mystery", 1, memory=4096, queue="adhoc"),
+        app("p", 2, memory=0, queue="prod"),
+    ]
+    # prod is idle (ratio 0) vs adhoc->default ratio > 0.
+    assert scheduler.select_app(candidates, TOTAL).app_id == "p"
+
+
+def test_capacity_rejects_bad_config():
+    with pytest.raises(ValueError):
+        CapacityScheduler({})
+    with pytest.raises(ValueError):
+        CapacityScheduler({"q": -0.1})
+
+
+def test_drf_picks_smallest_dominant_share():
+    scheduler = DrfScheduler()
+    # cpu-heavy app: 32/64 vcores = 0.5 dominant; mem-heavy: 16/64 GiB = 0.25.
+    candidates = [
+        app("cpu", 1, vcores=32, memory=1024),
+        app("mem", 2, vcores=2, memory=16 * 1024),
+    ]
+    assert scheduler.select_app(candidates, TOTAL).app_id == "mem"
+
+
+def test_drf_equals_fair_for_homogeneous_usage():
+    drf, fair = DrfScheduler(), FairScheduler()
+    candidates = [app("a", 1, memory=2048, vcores=2),
+                  app("b", 2, memory=1024, vcores=1)]
+    assert (drf.select_app(candidates, TOTAL).app_id
+            == fair.select_app(candidates, TOTAL).app_id == "b")
+
+
+def test_make_scheduler_factory():
+    assert make_scheduler("fifo").name == "fifo"
+    assert make_scheduler("fair").name == "fair"
+    assert make_scheduler("capacity", {"q": 1.0}).name == "capacity"
+    assert make_scheduler("drf").name == "drf"
+    with pytest.raises(ValueError):
+        make_scheduler("lottery")
+
+
+def test_resources_arithmetic():
+    a = Resources(2, 2048)
+    b = Resources(1, 1024)
+    assert a + b == Resources(3, 3072)
+    assert a - b == Resources(1, 1024)
+    assert b.fits_in(a)
+    assert not a.fits_in(b)
+    assert Resources.times(b, 4) == Resources(4, 4096)
+    assert Resources.zero().dominant_share(TOTAL) == 0.0
+    with pytest.raises(ValueError):
+        Resources(-1, 0)
+
+
+def test_dominant_share_uses_max_dimension():
+    usage = Resources(vcores=32, memory_mb=1024)
+    assert usage.dominant_share(TOTAL) == pytest.approx(0.5)
