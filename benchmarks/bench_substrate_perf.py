@@ -3,7 +3,10 @@
 Unlike the E/A benches (which regenerate evaluation artefacts once),
 these measure the simulator's own throughput with real repetition —
 the cost a user pays per experiment: event-loop rate, max-min rate
-recomputation, and a full end-to-end job simulation.
+recomputation (reference and incremental), and a full end-to-end job
+simulation.  The full-job bench also prints the engine's perf counters
+(rate recomputes, batched updates, allocator time) so the BENCH_*.json
+trajectory tracks efficiency alongside wall time.
 """
 
 from repro.cluster.config import ClusterSpec, HadoopConfig
@@ -11,8 +14,16 @@ from repro.cluster.topology import build_topology
 from repro.cluster.units import MB
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
-from repro.net.fairshare import max_min_rates
+from repro.net.fairshare import FairShareAllocator, max_min_rates
 from repro.simkit import Simulator
+
+
+def _fabric(num_links=64, num_flows=200):
+    links = [f"l{i}" for i in range(num_links)]
+    capacities = {link: 1e9 for link in links}
+    flow_links = {f"f{i}": [links[i % num_links], links[(i * 7 + 3) % num_links]]
+                  for i in range(num_flows)}
+    return links, capacities, flow_links
 
 
 def test_perf_event_loop(benchmark):
@@ -29,19 +40,68 @@ def test_perf_event_loop(benchmark):
     assert benchmark(drive) == 10_000
 
 
+def test_perf_event_cancellation_churn(benchmark):
+    """Cancel/reschedule churn: the flow network's horizon pattern.
+
+    Every firing event cancels a long-dated placeholder and schedules a
+    replacement, exactly how ``FlowNetwork`` maintains its completion
+    horizon.  Exercises the lazy heap compaction path.
+    """
+
+    def churn():
+        sim = Simulator()
+        placeholder = [sim.schedule(1e9, lambda: None)]
+
+        def tick(i):
+            placeholder[0].cancel()
+            placeholder[0] = sim.schedule(1e9, lambda: None)
+
+        for i in range(5_000):
+            sim.schedule(i * 0.001, tick, i)
+        sim.run(until=10.0)
+        return sim.events_fired, sim.heap_compactions
+
+    fired, compactions = benchmark(churn)
+    assert fired == 5_000
+    assert compactions > 0
+
+
 def test_perf_max_min_allocation(benchmark):
-    """One water-filling pass over 200 flows on a 64-link fabric."""
-    links = [f"l{i}" for i in range(64)]
-    capacities = {link: 1e9 for link in links}
-    flow_links = {f"f{i}": [links[i % 64], links[(i * 7 + 3) % 64]]
-                  for i in range(200)}
+    """One reference water-filling pass over 200 flows on a 64-link fabric."""
+    _, capacities, flow_links = _fabric()
 
     rates = benchmark(max_min_rates, flow_links, capacities)
     assert len(rates) == 200
 
 
+def test_perf_incremental_allocator_churn(benchmark):
+    """Arrival/departure churn through the stateful allocator.
+
+    200 resident flows; each iteration removes and re-adds one flow and
+    recomputes — the fluid network's steady-state workload, where the
+    reference would rebuild every membership dict from scratch.
+    """
+    _, capacities, flow_links = _fabric()
+
+    def churn():
+        allocator = FairShareAllocator(capacities)
+        for flow, links in flow_links.items():
+            allocator.add_flow(flow, links)
+        for i in range(100):
+            flow = f"f{i}"
+            allocator.remove_flow(flow)
+            allocator.add_flow(flow, flow_links[flow])
+            rates = allocator.rates()
+        return rates
+
+    rates = benchmark(churn)
+    assert len(rates) == 200
+
+
 def test_perf_full_job_simulation(benchmark):
     """A complete 0.5 GiB terasort capture on 8 nodes, end to end."""
+
+    perf = {}
 
     def run_job():
         cluster = HadoopCluster(
@@ -49,10 +109,20 @@ def test_perf_full_job_simulation(benchmark):
             HadoopConfig(block_size=32 * MB, num_reducers=4), seed=1)
         results, traces = cluster.run(
             [make_job("terasort", input_gb=0.5, job_id="perf")])
+        perf.update(cluster.perf_report())
         return traces[0].flow_count()
 
     flows = benchmark(run_job)
+    print("\nsubstrate counters (one run):")
+    for key in sorted(perf):
+        value = perf[key]
+        print(f"  {key} = {value:.6f}" if isinstance(value, float)
+              else f"  {key} = {value}")
     assert flows > 100
+    # Batching must actually coalesce: at most one recompute per flush,
+    # and a visible number of same-instant updates folded together.
+    assert perf["net.recomputes"] <= perf["net.flushes"]
+    assert perf["net.flows_batched"] > 0
 
 
 def test_perf_topology_routing(benchmark):

@@ -33,10 +33,23 @@ from repro.simkit.rng import stable_hash
 
 @dataclass(frozen=True)
 class Host:
-    """A worker machine: runs a DataNode and a NodeManager."""
+    """A worker machine: runs a DataNode and a NodeManager.
+
+    Nodes key every hot dict in the fluid engine (link tuples, byte
+    accounting), so the field-tuple hash is precomputed once instead of
+    being re-derived on each lookup.  The cached value equals the
+    dataclass-generated ``hash((name, rack))``, keeping set/dict
+    iteration orders identical to the unoptimised definition.
+    """
 
     name: str
     rack: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.name, self.rack)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return self.name
@@ -48,6 +61,12 @@ class Switch:
 
     name: str
     tier: str  # "tor" | "spine" | "core" | "agg"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.name, self.tier)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:
         return self.name
@@ -61,6 +80,7 @@ class Topology:
     hosts: List[Host]
     kind: str
     _paths: Dict[Tuple[str, str], List[List[object]]] = field(default_factory=dict, repr=False)
+    _selected_paths: Dict[Tuple[str, str], List[object]] = field(default_factory=dict, repr=False)
     _host_by_name: Dict[str, Host] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -88,13 +108,20 @@ class Topology:
         if src == dst:
             return [src]
         key = (src.name, dst.name)
+        # The *selected* path is cached too: ECMP is per-pair stable, so
+        # the stable_hash draw need only ever happen once per pair.
+        selected = self._selected_paths.get(key)
+        if selected is not None:
+            return selected
         candidates = self._paths.get(key)
         if candidates is None:
             candidates = list(
                 itertools.islice(nx.all_shortest_paths(self.graph, src, dst), 16))
             self._paths[key] = candidates
         index = stable_hash(f"{src.name}->{dst.name}") % len(candidates)
-        return candidates[index]
+        selected = candidates[index]
+        self._selected_paths[key] = selected
+        return selected
 
     def edges_on_path(self, nodes: List[object]) -> List[Tuple[object, object]]:
         """The (u, v) directed hops of a node path."""

@@ -78,32 +78,35 @@ class DfsClient:
         if chain[0] == chain[1]:
             chain = chain[1:]
         waits = []
-        for hop_index, (src, dst) in enumerate(zip(chain[:-1], chain[1:])):
-            datanode = self.datanodes.get(dst)
-            max_rate = datanode.disk_write_rate if datanode else None
-            flow = self.net.start_flow(
-                src, dst, location.block.size, max_rate=max_rate,
-                metadata={
-                    "component": component,
-                    "service": "dfs-write-pipeline",
-                    "job_id": job_id,
-                    "block_id": location.block.block_id,
-                    "hop": hop_index,
-                    "src_port": ports.ephemeral_port(
-                        f"write-{write_id}-{hop_index}-{src.name}"),
-                    "dst_port": ports.DATANODE_XFER,
-                })
-            waits.append(flow.done)
-        local_io = None
-        if writer in location.replicas:
-            # Replica 1 is written through the local disk.
-            datanode = self.datanodes.get(writer)
-            rate = datanode.disk_write_rate if datanode else None
-            local_io = self.net.start_flow(
-                writer, writer, location.block.size, max_rate=rate,
-                metadata={"component": component, "service": "dfs-write-local",
-                          "job_id": job_id, "block_id": location.block.block_id})
-            waits.append(local_io.done)
+        # The pipeline hops all start at the same instant — a textbook
+        # flow wave — so they are emitted through the network's batch
+        # API and share one rate recomputation.
+        with self.net.batch():
+            for hop_index, (src, dst) in enumerate(zip(chain[:-1], chain[1:])):
+                datanode = self.datanodes.get(dst)
+                max_rate = datanode.disk_write_rate if datanode else None
+                flow = self.net.start_flow(
+                    src, dst, location.block.size, max_rate=max_rate,
+                    metadata={
+                        "component": component,
+                        "service": "dfs-write-pipeline",
+                        "job_id": job_id,
+                        "block_id": location.block.block_id,
+                        "hop": hop_index,
+                        "src_port": ports.ephemeral_port(
+                            f"write-{write_id}-{hop_index}-{src.name}"),
+                        "dst_port": ports.DATANODE_XFER,
+                    })
+                waits.append(flow.done)
+            if writer in location.replicas:
+                # Replica 1 is written through the local disk.
+                datanode = self.datanodes.get(writer)
+                rate = datanode.disk_write_rate if datanode else None
+                local_io = self.net.start_flow(
+                    writer, writer, location.block.size, max_rate=rate,
+                    metadata={"component": component, "service": "dfs-write-local",
+                              "job_id": job_id, "block_id": location.block.block_id})
+                waits.append(local_io.done)
         if waits:
             yield self.sim.all_of(waits)
 

@@ -9,14 +9,15 @@ Main entry point is :class:`~repro.net.network.FlowNetwork`:
 
 * ``start_flow(src, dst, size)`` returns a :class:`~repro.net.flow.Flow`
   whose ``done`` signal fires at the fluid completion time;
-* every flow arrival/departure triggers a max-min rate recomputation
-  (:mod:`repro.net.fairshare`);
+* flow arrivals/departures trigger max-min rate recomputation
+  (:mod:`repro.net.fairshare`); same-instant changes are coalesced into
+  one recompute by a zero-delay flush (see ``FlowNetwork.batch``);
 * listeners receive each completed flow, which is how the capture stage
   (:mod:`repro.capture`) observes traffic.
 """
 
-from repro.net.fairshare import max_min_rates
+from repro.net.fairshare import FairShareAllocator, max_min_rates
 from repro.net.flow import Flow
 from repro.net.network import FlowNetwork
 
-__all__ = ["Flow", "FlowNetwork", "max_min_rates"]
+__all__ = ["FairShareAllocator", "Flow", "FlowNetwork", "max_min_rates"]

@@ -6,8 +6,29 @@ The network keeps the set of active flows.  Whenever the set changes
 (a flow starts or completes) it:
 
 1. advances every active flow's ``remaining`` by ``rate × elapsed``,
-2. recomputes all rates with :func:`repro.net.fairshare.max_min_rates`,
+2. recomputes all rates with the stateful
+   :class:`~repro.net.fairshare.FairShareAllocator`,
 3. schedules one completion event at the earliest projected finish.
+
+Same-timestamp batching
+-----------------------
+Hadoop emits flows in synchronized waves — a reducer's shuffle
+slow-start, the hops of a replication pipeline, every fetcher waking on
+the same map completion.  Rather than recomputing rates once per flow,
+an update *request* schedules a single zero-delay **flush** event at a
+late intra-timestep priority; every further start/completion at the
+same instant coalesces into it, so a 100-fetch wave costs one rate
+recomputation.  This is semantics-preserving: no simulated time passes
+between the requests and the flush, so intermediate rates would never
+have been applied over a non-zero interval anyway.  Constructing the
+network with ``batch_updates=False`` restores the legacy
+recompute-per-change behaviour (the trace-equivalence tests compare the
+two modes flow-by-flow).
+
+Synchronous producers that start several flows back to back (the HDFS
+replication pipeline) can additionally wrap the burst in
+``with net.batch(): ...`` which defers even the flush scheduling until
+the block exits.
 
 Host-local transfers (``src == dst``) never touch links; they complete
 at the flow's rate cap (typically the disk rate) and are flagged
@@ -15,19 +36,28 @@ at the flow's rate cap (typically the disk rate) and are flagged
 ``tcpdump`` would never see loopback DataNode traffic.
 
 Per-link delivered bytes are accumulated on every update, giving the
-utilisation series used by experiment E11.
+utilisation series used by experiment E11.  Performance counters for
+the whole fluid engine live on :attr:`FlowNetwork.perf`.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.topology import Host, Topology
-from repro.net.fairshare import max_min_rates
+from repro.net.fairshare import FairShareAllocator
 from repro.net.flow import Flow
 from repro.simkit.core import Event, Simulator
 
 _DONE_EPS_BYTES = 0.5
+
+# Flushes run after every other event of the same timestamp (processes
+# resume at priority 0, completion horizons fire at -1), so an entire
+# same-instant wave — including starts triggered by completions earlier
+# in the timestep — lands in one rate recomputation.
+_FLUSH_PRIORITY = 1
 
 
 class FlowNetwork:
@@ -38,24 +68,53 @@ class FlowNetwork:
     handshake cost that dominates the duration of small control flows
     while being invisible on bulk transfers.  The flow's recorded
     duration includes it, as a packet capture's would.
+
+    ``batch_updates`` (default True) enables same-timestamp coalescing
+    of rate recomputations; see the module docstring.
     """
 
     def __init__(self, sim: Simulator, topology: Topology,
-                 hop_latency: float = 0.0):
+                 hop_latency: float = 0.0, batch_updates: bool = True):
         if hop_latency < 0:
             raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
         self.sim = sim
         self.topology = topology
         self.hop_latency = hop_latency
+        self.batch_updates = batch_updates
         self.active: Dict[int, Flow] = {}
         self.completed_count = 0
         self.total_bytes = 0.0
-        self.link_bytes: Dict[Tuple[object, object], float] = {}
+        self.link_bytes: Dict[Tuple[object, object], float] = defaultdict(float)
         self._capacities: Dict[Tuple[object, object], float] = {}
+        self._allocator = FairShareAllocator()
         self._completion_event: Optional[Event] = None
+        self._flush_event: Optional[Event] = None
+        self._batch_depth = 0
+        self._batch_dirty = False
+        self._last_progress = -1.0
         self._listeners: List[Callable[[Flow], None]] = []
+        # Perf counters (cumulative; see also self._allocator's own).
+        self.updates_requested = 0
+        self.flushes = 0
+        self.flows_batched = 0
 
     # -- observation ---------------------------------------------------------
+
+    @property
+    def allocator(self) -> FairShareAllocator:
+        """The stateful rate allocator mirroring the active flow set."""
+        return self._allocator
+
+    @property
+    def perf(self) -> dict:
+        """Fluid-engine performance counters (cumulative)."""
+        return {
+            "recomputes": self._allocator.recomputes,
+            "allocator_seconds": self._allocator.allocator_seconds,
+            "updates_requested": self.updates_requested,
+            "flushes": self.flushes,
+            "flows_batched": self.flows_batched,
+        }
 
     def add_listener(self, callback: Callable[[Flow], None]) -> None:
         """Register a callback invoked with every completed flow."""
@@ -92,7 +151,9 @@ class FlowNetwork:
         flow.links = self.topology.edges_on_path(flow.path)
         for link in flow.links:
             if link not in self._capacities:
-                self._capacities[link] = self.topology.capacity(*link)
+                capacity = self.topology.capacity(*link)
+                self._capacities[link] = capacity
+                self._allocator.set_capacity(link, capacity)
         if self.hop_latency > 0:
             setup = 1.5 * (2.0 * len(flow.links) * self.hop_latency)
             self.sim.schedule(setup, self._activate, flow)
@@ -100,10 +161,33 @@ class FlowNetwork:
             self._activate(flow)
         return flow
 
+    @contextmanager
+    def batch(self):
+        """Coalesce rate updates for flows started inside the block.
+
+        Intended for producers that start several flows synchronously
+        (no ``yield`` in between), e.g. the hops of an HDFS replication
+        pipeline.  No simulated time may pass inside the block.  With
+        ``batch_updates=False`` this is a no-op, preserving the legacy
+        recompute-per-change semantics exactly.
+        """
+        if not self.batch_updates:
+            yield self
+            return
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._batch_dirty:
+                self._batch_dirty = False
+                self._schedule_flush()
+
     def _activate(self, flow: Flow) -> None:
         flow.last_update = self.sim.now
         self.active[flow.flow_id] = flow
-        self._advance_and_reschedule()
+        self._allocator.add_flow(flow.flow_id, flow.links, flow.max_rate)
+        self._request_update()
 
     def _complete_local(self, flow: Flow) -> None:
         flow.remaining = 0.0
@@ -117,22 +201,64 @@ class FlowNetwork:
 
     # -- fluid dynamics -------------------------------------------------------
 
+    def _request_update(self) -> None:
+        """The active flow set changed: recompute now, or batch it."""
+        self.updates_requested += 1
+        if not self.batch_updates:
+            self._advance_and_reschedule()
+            return
+        if self._batch_depth > 0:
+            if self._batch_dirty:
+                self.flows_batched += 1
+            self._batch_dirty = True
+            return
+        self._schedule_flush()
+
+    def _schedule_flush(self) -> None:
+        if self._flush_event is not None:
+            self.flows_batched += 1
+            return
+        self._flush_event = self.sim.schedule(
+            0.0, self._flush, priority=_FLUSH_PRIORITY)
+
+    def _flush(self) -> None:
+        self._flush_event = None
+        self.flushes += 1
+        self._advance_and_reschedule()
+
+    def _complete_due(self) -> None:
+        """The scheduled completion horizon was reached."""
+        self._completion_event = None
+        if not self.batch_updates:
+            self._advance_and_reschedule()
+            return
+        # Harvest *before* the flush so completion signals fire first
+        # and any same-instant reactions (a dependent transfer, the next
+        # shuffle fetch) join this timestep's single recomputation.
+        self._advance_progress()
+        self._harvest_finished()
+        self._schedule_flush()
+
     def _advance_progress(self) -> None:
         now = self.sim.now
+        if now == self._last_progress:
+            # Already advanced at this instant; every flow activated
+            # since then had its ``last_update`` pinned to ``now``, so
+            # the scan would be a pure no-op.
+            return
+        self._last_progress = now
+        link_bytes = self.link_bytes
         for flow in self.active.values():
             elapsed = now - flow.last_update
             if elapsed > 0 and flow.rate > 0:
                 moved = min(flow.rate * elapsed, flow.remaining)
                 flow.remaining -= moved
                 for link in flow.links:
-                    self.link_bytes[link] = self.link_bytes.get(link, 0.0) + moved
+                    link_bytes[link] += moved
             flow.last_update = now
 
     def _recompute_rates(self) -> None:
-        flow_links = {flow_id: flow.links for flow_id, flow in self.active.items()}
-        caps = {flow_id: flow.max_rate for flow_id, flow in self.active.items()
-                if flow.max_rate is not None}
-        rates = max_min_rates(flow_links, self._capacities, caps)
+        rates = self._allocator.rates()
         for flow_id, flow in self.active.items():
             flow.rate = rates[flow_id]
 
@@ -152,13 +278,14 @@ class FlowNetwork:
             raise RuntimeError(
                 "active flows exist but none can make progress (zero rates)")
         self._completion_event = self.sim.schedule(
-            horizon, self._advance_and_reschedule, priority=-1)
+            horizon, self._complete_due, priority=-1)
 
     def _harvest_finished(self) -> None:
         finished = [flow for flow in self.active.values()
                     if flow.remaining <= _DONE_EPS_BYTES]
         for flow in finished:
             del self.active[flow.flow_id]
+            self._allocator.remove_flow(flow.flow_id)
             flow.remaining = 0.0
             flow.rate = 0.0
             flow.end_time = self.sim.now

@@ -37,22 +37,32 @@ class Event:
     Events are created through :meth:`Simulator.schedule` /
     :meth:`Simulator.schedule_at` and may be cancelled before they fire.
     Cancellation is O(1): the event is flagged and skipped when popped.
+    The owning simulator keeps live/cancelled counts so the heap can be
+    compacted lazily once cancelled entries dominate it.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled",
+                 "sim", "popped")
 
     def __init__(self, time: float, priority: int, seq: int,
-                 callback: Callable[..., Any], args: Tuple[Any, ...]):
+                 callback: Callable[..., Any], args: Tuple[Any, ...],
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.priority = priority
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
+        self.popped = False
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None and not self.popped:
+            self.sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -275,16 +285,39 @@ class Simulator:
     [1.5]
     """
 
+    # Lazy heap compaction: cancelled events are skipped when popped,
+    # but a producer that cancels and reschedules on every update (the
+    # flow network's completion horizon) can fill the heap with dead
+    # entries.  Once more than half the heap is cancelled (and it is
+    # big enough to matter) the queue is rebuilt without them.
+    _COMPACT_MIN_SIZE = 64
+
     def __init__(self):
         self._queue: List[Event] = []
         self._now = 0.0
         self._seq = itertools.count()
         self._running = False
+        self._pending = 0        # live (not-yet-cancelled) events in the queue
+        self._cancelled = 0      # cancelled events still sitting in the queue
+        self.events_fired = 0
+        self.events_cancelled = 0
+        self.heap_compactions = 0
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def perf(self) -> dict:
+        """Kernel performance counters (cumulative since construction)."""
+        return {
+            "events_fired": self.events_fired,
+            "events_cancelled": self.events_cancelled,
+            "heap_compactions": self.heap_compactions,
+            "heap_size": len(self._queue),
+            "pending": self._pending,
+        }
 
     # -- scheduling ---------------------------------------------------------
 
@@ -299,9 +332,26 @@ class Simulator:
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at t={time} (now t={self._now}): time travel")
-        event = Event(time, priority, next(self._seq), callback, args)
+        event = Event(time, priority, next(self._seq), callback, args, sim=self)
         heapq.heappush(self._queue, event)
+        self._pending += 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping when a queued event is cancelled (called by Event)."""
+        self._pending -= 1
+        self._cancelled += 1
+        self.events_cancelled += 1
+        if (self._cancelled > self._COMPACT_MIN_SIZE
+                and self._cancelled * 2 > len(self._queue)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify.  O(live events)."""
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled = 0
+        self.heap_compactions += 1
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a waitable that fires after ``delay`` seconds."""
@@ -366,9 +416,13 @@ class Simulator:
         """Run the next pending event.  Returns False if the queue is empty."""
         while self._queue:
             event = heapq.heappop(self._queue)
+            event.popped = True
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            self._pending -= 1
             self._now = event.time
+            self.events_fired += 1
             event.callback(*event.args)
             return True
         return False
@@ -387,11 +441,16 @@ class Simulator:
                 event = self._queue[0]
                 if event.cancelled:
                     heapq.heappop(self._queue)
+                    event.popped = True
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                event.popped = True
+                self._pending -= 1
                 self._now = event.time
+                self.events_fired += 1
                 event.callback(*event.args)
             if until is not None and self._now < until:
                 self._now = until
@@ -399,5 +458,5 @@ class Simulator:
             self._running = False
 
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events in the queue.  O(1)."""
+        return self._pending

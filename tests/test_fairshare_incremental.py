@@ -1,0 +1,180 @@
+"""Differential tests: FairShareAllocator vs the reference allocator.
+
+The incremental allocator is only allowed to exist because it is
+indistinguishable from :func:`repro.net.fairshare.max_min_rates`:
+
+* randomized topologies/caps (>= 200 cases) must agree within 1e-6,
+* arbitrary add/remove churn must leave the persistent state exactly
+  equivalent to a from-scratch build,
+* a seeded end-to-end terasort must produce flow-for-flow identical
+  traces with batching on and off (the legacy recompute-per-change
+  mode).
+"""
+
+import random
+
+import pytest
+
+from repro.cluster.config import ClusterSpec, HadoopConfig
+from repro.cluster.units import MB
+from repro.jobs import make_job
+from repro.mapreduce.cluster import HadoopCluster
+from repro.net.fairshare import FairShareAllocator, allocation_is_feasible, max_min_rates
+
+REL_TOL = 1e-6
+
+
+def _random_scenario(rng):
+    """One random fabric: links with capacities, flows with paths/caps."""
+    num_links = rng.randint(1, 12)
+    links = [f"l{i}" for i in range(num_links)]
+    capacities = {link: rng.uniform(1.0, 1000.0) for link in links}
+    num_flows = rng.randint(1, 24)
+    flow_links = {}
+    caps = {}
+    for index in range(num_flows):
+        path_len = rng.randint(0 if rng.random() < 0.1 else 1,
+                               min(4, num_links))
+        flow_links[f"f{index}"] = rng.sample(links, path_len)
+        if rng.random() < 0.4:
+            caps[f"f{index}"] = rng.uniform(0.5, 2000.0)
+    return capacities, flow_links, caps
+
+
+def _build_allocator(capacities, flow_links, caps):
+    allocator = FairShareAllocator(capacities)
+    for flow, links in flow_links.items():
+        allocator.add_flow(flow, links, caps.get(flow))
+    return allocator
+
+
+def _assert_rates_match(incremental, reference, context=""):
+    assert set(incremental) == set(reference), context
+    for flow, expected in reference.items():
+        got = incremental[flow]
+        if expected == float("inf"):
+            assert got == float("inf"), f"{context}: {flow}"
+        else:
+            assert got == pytest.approx(expected, rel=REL_TOL), (
+                f"{context}: flow {flow}: incremental={got} reference={expected}")
+
+
+def test_differential_200_randomized_cases():
+    """>= 200 random fabrics: heap allocator == reference water-filling."""
+    for seed in range(250):
+        rng = random.Random(seed)
+        capacities, flow_links, caps = _random_scenario(rng)
+        reference = max_min_rates(flow_links, capacities, caps)
+        allocator = _build_allocator(capacities, flow_links, caps)
+        incremental = allocator.rates()
+        _assert_rates_match(incremental, reference, context=f"seed {seed}")
+        routed = {f: l for f, l in flow_links.items() if l}
+        assert allocation_is_feasible(
+            {f: incremental[f] for f in routed}, routed, capacities)
+
+
+def test_differential_add_remove_churn():
+    """Interleaved add/remove sequences keep state equal to a fresh build."""
+    for seed in range(40):
+        rng = random.Random(1000 + seed)
+        capacities, flow_links, caps = _random_scenario(rng)
+        allocator = FairShareAllocator(capacities)
+        active = {}
+        pool = list(flow_links)
+        for step in range(60):
+            if active and (rng.random() < 0.4 or not pool):
+                flow = rng.choice(list(active))
+                del active[flow]
+                allocator.remove_flow(flow)
+            elif pool:
+                flow = pool.pop(rng.randrange(len(pool)))
+                active[flow] = flow_links[flow]
+                allocator.add_flow(flow, flow_links[flow], caps.get(flow))
+            reference = max_min_rates(
+                active, capacities, {f: caps[f] for f in active if f in caps})
+            _assert_rates_match(allocator.rates(), reference,
+                                context=f"seed {seed} step {step}")
+
+
+def test_allocator_rejects_misuse():
+    allocator = FairShareAllocator({"l": 10.0})
+    with pytest.raises(ValueError):
+        allocator.set_capacity("bad", 0.0)
+    with pytest.raises(KeyError):
+        allocator.add_flow("f", ["unknown-link"])
+    allocator.add_flow("f", ["l"])
+    with pytest.raises(ValueError):
+        allocator.add_flow("f", ["l"])  # duplicate
+    with pytest.raises(ValueError):
+        allocator.add_flow("g", ["l"], cap=-1.0)
+    with pytest.raises(KeyError):
+        allocator.remove_flow("never-added")
+    assert len(allocator) == 1 and "f" in allocator
+    allocator.remove_flow("f")
+    assert len(allocator) == 0
+
+
+def test_allocator_counts_recomputes_and_time():
+    allocator = FairShareAllocator({"l": 100.0})
+    allocator.add_flow("a", ["l"])
+    allocator.add_flow("b", ["l"], cap=10.0)
+    first = allocator.rates()
+    assert first["a"] == pytest.approx(90.0)
+    assert first["b"] == pytest.approx(10.0)
+    allocator.remove_flow("b")
+    second = allocator.rates()
+    assert second == {"a": pytest.approx(100.0)}
+    assert allocator.recomputes == 2
+    assert allocator.allocator_seconds >= 0.0
+
+
+def test_linkless_flows_get_cap_or_infinity():
+    allocator = FairShareAllocator()
+    allocator.add_flow("free", [])
+    allocator.add_flow("capped", [], cap=7.0)
+    rates = allocator.rates()
+    assert rates["free"] == float("inf")
+    assert rates["capped"] == 7.0
+
+
+def _run_terasort(batch_updates):
+    cluster = HadoopCluster(
+        ClusterSpec(num_nodes=8, hosts_per_rack=4),
+        HadoopConfig(block_size=32 * MB, num_reducers=2), seed=7)
+    cluster.net.batch_updates = batch_updates
+    results, traces = cluster.run(
+        [make_job("terasort", input_gb=0.25, job_id="equiv")])
+    assert not results[0].failed
+    return cluster, traces[0]
+
+
+def _comparable(trace):
+    """Flow records minus process-global counters.
+
+    ``flow_id`` and the ephemeral port numbers are derived from
+    module-level ``itertools.count`` streams (flow ids, write ids,
+    block ids), so the second simulation in one process draws different
+    values regardless of any engine change.  Endpoints, sizes and the
+    *exact* start/end timestamps — the statistics Keddah models — stay.
+    """
+    return [
+        (r.src, r.dst, r.size, r.start, r.end,
+         r.component, r.service, r.job_id)
+        for r in trace.flows
+    ]
+
+
+def test_seeded_terasort_trace_identical_with_and_without_batching():
+    """Tentpole pin: batching must not change the captured traffic at all.
+
+    Same seed, same job, batched vs legacy recompute-per-change mode:
+    every flow's endpoints, ports, size and (exact) start/end times must
+    match.  Only the number of rate recomputations may differ.
+    """
+    batched_cluster, batched = _run_terasort(True)
+    legacy_cluster, legacy = _run_terasort(False)
+    assert _comparable(batched) == _comparable(legacy)
+    # The whole point: batching strictly reduces recompute work.
+    assert batched_cluster.net.perf["recomputes"] < legacy_cluster.net.perf["recomputes"]
+    assert batched_cluster.net.perf["flows_batched"] > 0
+    assert legacy_cluster.net.perf["flushes"] == 0

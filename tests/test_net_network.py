@@ -180,3 +180,44 @@ def test_many_flows_conservation_of_bytes():
     sim.run()
     assert net.total_bytes == pytest.approx(total)
     assert not net.active
+
+
+def test_batch_context_coalesces_same_instant_starts():
+    sim, topo, net = make_network(num_hosts=4)
+    size = 1.0 * GBPS
+    with net.batch():
+        a = net.start_flow(topo.hosts[0], topo.hosts[1], size)
+        b = net.start_flow(topo.hosts[0], topo.hosts[2], size)
+    sim.run()
+    # Physics unchanged by batching...
+    assert a.end_time == pytest.approx(2.0, rel=1e-6)
+    assert b.end_time == pytest.approx(2.0, rel=1e-6)
+    # ...but the two same-instant arrivals folded into recomputes bounded
+    # by the number of flushes.
+    perf = net.perf
+    assert perf["updates_requested"] >= 2
+    assert perf["recomputes"] <= perf["flushes"]
+    assert perf["flows_batched"] >= 1
+
+
+def test_legacy_mode_recomputes_per_update():
+    sim, topo, net = make_network(num_hosts=4)
+    net.batch_updates = False
+    size = 1.0 * GBPS
+    a = net.start_flow(topo.hosts[0], topo.hosts[1], size)
+    b = net.start_flow(topo.hosts[0], topo.hosts[2], size)
+    sim.run()
+    assert a.end_time == pytest.approx(2.0, rel=1e-6)
+    assert b.end_time == pytest.approx(2.0, rel=1e-6)
+    assert net.perf["flushes"] == 0
+    assert net.perf["recomputes"] >= net.perf["updates_requested"]
+
+
+def test_allocator_membership_tracks_active_flows():
+    sim, topo, net = make_network(num_hosts=4)
+    size = 1.0 * GBPS
+    net.start_flow(topo.hosts[0], topo.hosts[1], size)
+    assert len(net.allocator) == 1
+    sim.run()
+    assert len(net.allocator) == 0
+    assert net.perf["allocator_seconds"] >= 0.0

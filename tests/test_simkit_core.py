@@ -259,3 +259,42 @@ def test_pending_counts_live_events():
     assert sim.pending() == 2
     event_a.cancel()
     assert sim.pending() == 1
+
+
+def test_heap_compaction_discards_cancelled_backlog():
+    sim = Simulator()
+    # Build a large cancelled backlog behind one live event, then check
+    # the kernel compacted the heap instead of carrying the dead weight.
+    live = sim.schedule(1.0, lambda: None)
+    doomed = [sim.schedule(100.0 + i, lambda: None) for i in range(300)]
+    for event in doomed:
+        event.cancel()
+    assert sim.pending() == 1
+    assert sim.heap_compactions >= 1
+    sim.run()
+    assert sim.now == 1.0
+    assert sim.events_fired == 1
+    assert sim.events_cancelled == 300
+    assert live.popped
+
+
+def test_perf_snapshot_tracks_counters():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    perf = sim.perf
+    assert perf["events_fired"] == 1
+    assert perf["events_cancelled"] == 1
+    assert perf["pending"] == 0
+    assert perf["heap_size"] >= 0
+
+
+def test_cancel_is_idempotent_for_counters():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert sim.events_cancelled == 1
+    assert sim.pending() == 0
