@@ -2,20 +2,46 @@
 
 Each ``bench_*`` file regenerates one evaluation artefact (table or
 figure) from DESIGN.md's E/A index: it re-runs the underlying capture
-campaign from scratch (the process-local capture cache is cleared
-first so timings are honest), prints the regenerated rows, and asserts
-the qualitative claim the paper's artefact makes (who wins, what
-scales, where the crossover sits).
+campaign (the process-local memo is cleared first so per-experiment
+timings are honest), prints the regenerated rows, and asserts the
+qualitative claim the paper's artefact makes (who wins, what scales,
+where the crossover sits).
+
+The whole suite shares one persistent capture store
+(:class:`repro.experiments.store.CaptureStore`): the first experiment
+to need a given (job, size, config, seed) point simulates and
+publishes it; every later experiment — in this file or any other —
+reads it back instead of re-simulating.  Set ``KEDDAH_CAPTURE_STORE``
+to persist the store across benchmark invocations; by default a fresh
+session-scoped directory is used, so one invocation's timings never
+borrow heat from a previous run.
 
 Run with::
 
     pytest benchmarks/ --benchmark-only
 """
 
+import os
+import tempfile
+
 import pytest
 
 from repro.analysis.tables import Table, render_table
-from repro.experiments.campaigns import clear_cache
+from repro.experiments.campaigns import cache_stats, clear_cache, set_store
+from repro.experiments.store import STORE_ENV_VAR, CaptureStore
+
+
+def pytest_configure(config):
+    """Install the session-wide capture store before any benchmark runs."""
+    root = os.environ.get(STORE_ENV_VAR, "").strip()
+    if not root:
+        root = tempfile.mkdtemp(prefix="keddah-capture-store-")
+    set_store(CaptureStore(root))
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    stats = cache_stats()
+    terminalreporter.write_line(f"keddah capture cache: {stats}")
 
 
 def pytest_collection_modifyitems(config, items):
@@ -43,7 +69,12 @@ def pytest_collection_modifyitems(config, items):
 
 
 def run_experiment(benchmark, experiment, **kwargs):
-    """Benchmark one experiment end-to-end and print its tables."""
+    """Benchmark one experiment end-to-end and print its tables.
+
+    Clears the in-memory memo (not the shared store) so the timing
+    reflects at most one simulation per point per session, never free
+    same-process memo hits.
+    """
     def fresh():
         clear_cache()
         return experiment(**kwargs)

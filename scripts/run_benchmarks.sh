@@ -1,18 +1,29 @@
 #!/usr/bin/env bash
-# Run the substrate performance benchmarks via pytest-benchmark and
-# write the machine-readable results next to the repo root, so the
-# BENCH_*.json trajectory can track the fluid engine's speed across
-# PRs.  Tier-1 test runs (`python -m pytest -x -q`) skip these.
+# Run the performance benchmarks and write the machine-readable results
+# next to the repo root, so the BENCH_*.json trajectory can track the
+# engine's speed across PRs.  Tier-1 test runs (`python -m pytest -x -q`)
+# skip these.
 #
-# Usage: scripts/run_benchmarks.sh [output.json] [extra pytest args...]
+# Two artefacts:
+#   BENCH_substrate.json — pytest-benchmark timings of the fluid engine
+#   BENCH_campaign.json  — campaign runner: cold serial vs cold parallel
+#                          vs warm capture store, with hit/miss counters
+#                          (written by benchmarks/bench_campaign.py)
+#
+# Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_substrate.json}"
 shift || true
 
-PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" exec python -m pytest \
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_substrate_perf.py \
     --benchmark-only \
     --benchmark-json="${out}" \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_campaign.py \
+    -m benchmark_suite \
     -q -s "$@"

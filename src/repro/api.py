@@ -53,18 +53,27 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
 def run_capture_campaign(job: str, input_sizes_gb: Sequence[float],
                          nodes: int = 16, seed: int = 0, repeats: int = 1,
                          config: Optional[HadoopConfig] = None,
+                         workers: int = 1,
                          **job_kwargs) -> List[JobTrace]:
     """Capture one job kind across input sizes (the paper's sweep unit).
 
-    Each (size, repeat) pair runs on a fresh cluster with a derived
-    seed, so runs are independent and the whole campaign is
-    reproducible from ``seed``.
+    Each (size, repeat) pair runs on a fresh cluster with a seed from
+    :func:`repro.experiments.runner.derive_seed`, so runs are
+    independent and the whole campaign is reproducible from ``seed``.
+    Points are resolved through the campaign cache hierarchy (the
+    process-local memo and, when configured via
+    ``KEDDAH_CAPTURE_STORE``, the persistent capture store);
+    ``workers > 1`` fans cache misses out across processes with
+    flow-for-flow identical output.
     """
-    traces = []
-    for size_index, input_gb in enumerate(input_sizes_gb):
-        for repeat in range(repeats):
-            traces.append(run_capture(
-                job, input_gb, nodes=nodes,
-                seed=seed * 10_007 + size_index * 101 + repeat,
-                config=config, **job_kwargs))
-    return traces
+    from repro.experiments.campaigns import make_runner
+    from repro.experiments.runner import CapturePoint, derive_seed
+
+    spec = ClusterSpec(num_nodes=nodes, hosts_per_rack=4)
+    hadoop = config or HadoopConfig()
+    points = [CapturePoint.from_configs(
+                  job, input_gb, derive_seed(seed, size_index, repeat),
+                  spec, hadoop, job_kwargs)
+              for size_index, input_gb in enumerate(input_sizes_gb)
+              for repeat in range(repeats)]
+    return [trace for _, trace in make_runner(workers).run(points)]

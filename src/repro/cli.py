@@ -3,6 +3,8 @@
 Subcommands mirror the pipeline stages::
 
     keddah capture  --job terasort --input-gb 1.0 --nodes 8 -o trace.jsonl
+    keddah campaign --job terasort --job grep --workers 4 --store ./store
+    keddah store    stats --store ./store
     keddah fit      traces/*.jsonl -o model.json
     keddah generate --model model.json --input-gb 4.0 -o synthetic.jsonl
     keddah replay   trace.jsonl
@@ -52,6 +54,44 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["fifo", "fair", "capacity", "drf"])
     capture.add_argument("-o", "--output", required=True,
                          help="trace output path (.jsonl)")
+    capture.add_argument("--store", default=None,
+                         help="persistent capture-store directory (defaults "
+                              "to $KEDDAH_CAPTURE_STORE; reuses a stored "
+                              "capture instead of re-simulating)")
+
+    campaign = sub.add_parser(
+        "campaign", help="run a capture sweep (jobs x input sizes), "
+                         "optionally in parallel and against the store")
+    campaign.add_argument("--job", action="append", required=True,
+                          dest="jobs", choices=sorted(job_catalog()),
+                          help="job kind (repeatable)")
+    campaign.add_argument("--sizes-gb", default="0.25,0.5,1.0,2.0",
+                          help="comma-separated input sizes in GiB")
+    campaign.add_argument("--seed", type=int, default=42)
+    campaign.add_argument("--nodes", type=int, default=8)
+    campaign.add_argument("--hosts-per-rack", type=int, default=4)
+    campaign.add_argument("--block-mb", type=int, default=32)
+    campaign.add_argument("--reducers", type=int, default=4)
+    campaign.add_argument("--replication", type=int, default=3)
+    campaign.add_argument("--scheduler", default="fifo",
+                          choices=["fifo", "fair", "capacity", "drf"])
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes for cache-miss points "
+                               "(0 = one per CPU core)")
+    campaign.add_argument("--store", default=None,
+                          help="persistent capture-store directory (defaults "
+                               "to $KEDDAH_CAPTURE_STORE)")
+    campaign.add_argument("--invalidate", action="store_true",
+                          help="clear the store before running")
+    campaign.add_argument("-o", "--output", default=None,
+                          help="optional directory for per-point trace files")
+
+    store_cmd = sub.add_parser(
+        "store", help="inspect or clear the persistent capture store")
+    store_cmd.add_argument("action", choices=["stats", "clear"])
+    store_cmd.add_argument("--store", default=None,
+                           help="store directory (defaults to "
+                                "$KEDDAH_CAPTURE_STORE)")
 
     fit = sub.add_parser("fit", help="fit a traffic model from traces")
     fit.add_argument("traces", nargs="+", help="capture .jsonl files")
@@ -136,17 +176,121 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _resolve_store(path: Optional[str]):
+    """A CaptureStore from --store, else $KEDDAH_CAPTURE_STORE, else None."""
+    from repro.experiments.store import CaptureStore, store_from_env
+
+    if path:
+        return CaptureStore(path)
+    return store_from_env()
+
+
 def cmd_capture(args: argparse.Namespace) -> int:
     config = HadoopConfig(block_size=args.block_mb * MB,
                           num_reducers=args.reducers,
                           replication=args.replication,
                           scheduler=args.scheduler)
-    trace = run_capture(args.job, input_gb=args.input_gb, nodes=args.nodes,
-                        seed=args.seed, config=config,
-                        hosts_per_rack=args.hosts_per_rack)
+    store = _resolve_store(args.store)
+    if store is not None:
+        from repro.cluster.config import ClusterSpec
+        from repro.experiments.runner import CampaignRunner, CapturePoint
+
+        spec = ClusterSpec(num_nodes=args.nodes,
+                           hosts_per_rack=args.hosts_per_rack)
+        point = CapturePoint.from_configs(args.job, args.input_gb, args.seed,
+                                          spec, config)
+        _, trace = CampaignRunner(store=store).run_point(point)
+        origin = "store" if store.stats.hits else "simulated"
+    else:
+        trace = run_capture(args.job, input_gb=args.input_gb, nodes=args.nodes,
+                            seed=args.seed, config=config,
+                            hosts_per_rack=args.hosts_per_rack)
+        origin = "simulated"
     trace.to_jsonl(args.output)
     print(f"captured {trace.flow_count()} flows "
-          f"({trace.total_bytes() / MB:.1f} MiB) -> {args.output}")
+          f"({trace.total_bytes() / MB:.1f} MiB, {origin}) -> {args.output}")
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.capture.records import save_traces
+    from repro.experiments.campaigns import CampaignConfig
+    from repro.experiments.runner import (
+        CampaignRunner,
+        CapturePoint,
+        default_workers,
+        derive_seed,
+    )
+
+    try:
+        sizes = [float(part) for part in args.sizes_gb.split(",") if part.strip()]
+    except ValueError:
+        print(f"bad --sizes-gb {args.sizes_gb!r}; expected e.g. 0.25,0.5,1.0")
+        return 2
+    if not sizes:
+        print("--sizes-gb named no sizes")
+        return 2
+    campaign = CampaignConfig(nodes=args.nodes,
+                              hosts_per_rack=args.hosts_per_rack,
+                              block_mb=args.block_mb,
+                              num_reducers=args.reducers,
+                              replication=args.replication,
+                              scheduler=args.scheduler)
+    store = _resolve_store(args.store)
+    if args.invalidate:
+        if store is None:
+            print("--invalidate needs a store (--store or "
+                  "$KEDDAH_CAPTURE_STORE)")
+            return 2
+        print(f"invalidated {store.clear()} store entries in {store.root}")
+    workers = args.workers if args.workers > 0 else default_workers()
+    points = [CapturePoint.from_campaign(job, gb, derive_seed(args.seed, index),
+                                         campaign)
+              for job in args.jobs
+              for index, gb in enumerate(sizes)]
+    runner = CampaignRunner(store=store, workers=workers)
+    started = time.perf_counter()
+    outcomes = runner.run(points)
+    elapsed = time.perf_counter() - started
+
+    table = Table(title=f"campaign: {len(args.jobs)} job(s) x {len(sizes)} "
+                        f"size(s), {workers} worker(s)",
+                  headers=["job", "input GiB", "seed", "flows", "MiB", "JCT s"])
+    for point, (result, trace) in zip(points, outcomes):
+        table.add_row(point.job, point.input_gb, point.seed,
+                      trace.flow_count(),
+                      round(trace.total_bytes() / MB, 1),
+                      round(result.completion_time, 2))
+    stats = runner.stats
+    table.notes.append(
+        f"{elapsed:.2f}s wall; {stats.simulated} simulated "
+        f"({stats.parallel_simulated} in parallel), "
+        f"{stats.store_hits} store hit(s), {stats.memo_hits} memo hit(s)")
+    if store is not None:
+        table.notes.append(f"store {store.root}: {store.stats.to_dict()}")
+    print(render_table(table))
+    if args.output:
+        paths = save_traces([trace for _, trace in outcomes], args.output)
+        print(f"{len(paths)} traces -> {args.output}")
+    return 0
+
+
+def cmd_store(args: argparse.Namespace) -> int:
+    store = _resolve_store(args.store)
+    if store is None:
+        print("no store configured: pass --store DIR or set "
+              "$KEDDAH_CAPTURE_STORE")
+        return 2
+    if args.action == "clear":
+        print(f"cleared {store.clear()} entries from {store.root}")
+        return 0
+    table = Table(title=f"capture store at {store.root}",
+                  headers=["metric", "value"])
+    table.add_row("entries", store.entry_count())
+    table.add_row("size (MiB)", round(store.size_bytes() / MB, 2))
+    print(render_table(table))
     return 0
 
 
@@ -396,6 +540,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "capture": cmd_capture,
+    "campaign": cmd_campaign,
+    "store": cmd_store,
     "fit": cmd_fit,
     "generate": cmd_generate,
     "replay": cmd_replay,

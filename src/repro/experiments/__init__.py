@@ -1,19 +1,42 @@
-"""The evaluation harness: campaigns and per-artefact experiments.
+"""The evaluation harness: campaigns, the capture store, and experiments.
 
 :mod:`repro.experiments.campaigns` defines the canonical experiment
 parameters (job mix, input sizes, cluster scale — scaled so the whole
-evaluation regenerates in seconds on a laptop) and caches captures
-within a process so benchmarks sharing inputs don't re-simulate.
+evaluation regenerates in seconds on a laptop) and fronts the capture
+cache hierarchy: a bounded in-process LRU memo over the optional
+persistent content-addressed store.
+
+:mod:`repro.experiments.store` is that persistent store — capture
+(result, trace) pairs addressed by the SHA-256 of their canonical
+parameter dict, with atomic writes and corruption-tolerant reads, so
+sweeps are shared across processes, benchmark files and CLI runs.
+
+:mod:`repro.experiments.runner` executes campaigns: it resolves
+capture points memo → store → simulation and fans cache misses out
+across worker processes with output flow-for-flow identical to a
+serial run.
 
 :mod:`repro.experiments.figures` has one entry point per evaluation
-artefact (E1..E15 and ablations A1..A4 in DESIGN.md's index), each
+artefact (E1..E20 and ablations A1..A5 in DESIGN.md's index), each
 returning the :class:`~repro.analysis.tables.Table` rows the paper's
 corresponding table/figure reports.
 """
 
-from repro.experiments.campaigns import CampaignConfig, capture, capture_campaign
+from repro.experiments.campaigns import (
+    CampaignConfig,
+    cache_stats,
+    capture,
+    capture_campaign,
+    clear_cache,
+    get_store,
+    set_store,
+)
+from repro.experiments.runner import CampaignRunner, CapturePoint, derive_seed
+from repro.experiments.store import CaptureStore
 from repro.experiments import figures
 from repro.experiments.report import generate_report, write_report
 
-__all__ = ["CampaignConfig", "capture", "capture_campaign", "figures",
-           "generate_report", "write_report"]
+__all__ = ["CampaignConfig", "CampaignRunner", "CaptureStore", "CapturePoint",
+           "cache_stats", "capture", "capture_campaign", "clear_cache",
+           "derive_seed", "figures", "generate_report", "get_store",
+           "set_store", "write_report"]

@@ -1,4 +1,4 @@
-"""Canonical campaign parameters and a process-local capture cache.
+"""Canonical campaign parameters and the capture cache hierarchy.
 
 The paper's evaluation axes are job type × input size × cluster
 configuration.  The defaults here pick magnitudes that keep every
@@ -12,26 +12,37 @@ matter (blocks per input, reducers per node, oversubscription):
 * input sizes {0.25, 0.5, 1, 2} GiB,
 * the five-job HiBench-style mix.
 
-Captures are memoised per process keyed by their full parameter set —
-benchmarks re-using the same capture don't pay for re-simulation.
+Captures resolve through a two-level cache: a bounded process-local
+LRU memo (fast path for benchmarks sharing inputs within one process)
+backed by the optional persistent content-addressed store
+(:mod:`repro.experiments.store`), shared across processes and runs.
+Both levels key off the same canonical capture-point dict
+(:meth:`~repro.experiments.runner.CapturePoint.key_dict`), so they can
+never disagree about what "the same capture" means.  The store is
+enabled by :func:`set_store` or the ``KEDDAH_CAPTURE_STORE``
+environment variable.
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.capture.records import JobTrace
 from repro.cluster.config import ClusterSpec, HadoopConfig
 from repro.cluster.units import MB
-from repro.jobs import make_job
-from repro.mapreduce.cluster import HadoopCluster
 from repro.mapreduce.result import JobResult
+from repro.experiments.store import CaptureStore, store_from_env
 
 DEFAULT_JOBS = ["terasort", "wordcount", "grep", "pagerank", "kmeans"]
 DEFAULT_SIZES_GB = [0.25, 0.5, 1.0, 2.0]
 DEFAULT_SEED = 42
+
+#: Cap on memoised captures held in memory.  Long sweeps (hundreds of
+#: points) would otherwise pin every trace; evicted entries remain one
+#: store read away when a persistent store is configured.
+MEMO_CAPACITY = 256
 
 
 @dataclass(frozen=True)
@@ -65,46 +76,149 @@ class CampaignConfig:
                             slowstart=self.slowstart,
                             speculative=self.speculative)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical field dict: explicit values, stable key order.
 
-_CACHE: Dict[str, Tuple[JobResult, JobTrace]] = {}
+        This — not ``__dict__`` — is the cache-key source, shared by
+        the in-memory memo and the on-disk store's SHA-256 address.
+        """
+        return {
+            "nodes": self.nodes,
+            "hosts_per_rack": self.hosts_per_rack,
+            "block_mb": self.block_mb,
+            "num_reducers": self.num_reducers,
+            "replication": self.replication,
+            "scheduler": self.scheduler,
+            "slowstart": self.slowstart,
+            "topology": self.topology,
+            "oversubscription": self.oversubscription,
+            "containers_per_node": self.containers_per_node,
+            "speculative": self.speculative,
+        }
 
 
-def _cache_key(job: str, input_gb: float, seed: int, campaign: CampaignConfig,
-               job_kwargs: Dict[str, Any]) -> str:
-    return json.dumps({
-        "job": job, "gb": input_gb, "seed": seed,
-        "campaign": campaign.__dict__, "job_kwargs": job_kwargs,
-    }, sort_keys=True, default=str)
+# -- the process-local memo (level 1) ------------------------------------------------
+
+
+class _LruMemo:
+    """Insertion-bounded LRU over capture keys (observable, clearable)."""
+
+    def __init__(self, capacity: int = MEMO_CAPACITY):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, Tuple[JobResult, JobTrace]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> Optional[Tuple[JobResult, JobTrace]]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, value: Tuple[JobResult, JobTrace]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+_MEMO = _LruMemo()
+
+# Level 2: the persistent store.  ``False`` = not yet resolved (lazy
+# env lookup on first use); ``None`` = explicitly disabled.
+_STORE: Any = False
+
+
+def get_store() -> Optional[CaptureStore]:
+    """The active persistent store (lazily from ``KEDDAH_CAPTURE_STORE``)."""
+    global _STORE
+    if _STORE is False:
+        _STORE = store_from_env()
+    return _STORE
+
+
+def set_store(store: Optional[CaptureStore]) -> Optional[CaptureStore]:
+    """Install (or disable, with ``None``) the persistent capture store."""
+    global _STORE
+    _STORE = store
+    return store
+
+
+def cache_stats() -> Dict[str, Any]:
+    """Both cache levels' counters in one observable dict."""
+    stats: Dict[str, Any] = {"memo": _MEMO.stats()}
+    store = get_store()
+    if store is not None:
+        stats["store"] = store.stats.to_dict()
+    return stats
+
+
+def clear_cache() -> None:
+    """Drop memoised captures (tests use this to force re-simulation).
+
+    Only the in-memory level is dropped; the persistent store — when
+    one is configured — is cleared explicitly via
+    ``CaptureStore.clear`` (CLI: ``keddah store clear``).
+    """
+    _MEMO.clear()
+
+
+def make_runner(workers: int = 1):
+    """A CampaignRunner wired to the process memo and active store."""
+    from repro.experiments.runner import CampaignRunner
+
+    return CampaignRunner(store=get_store(), workers=workers,
+                          memo_get=_MEMO.get, memo_put=_MEMO.put)
+
+
+# -- capture entry points ------------------------------------------------------------
 
 
 def capture(job: str, input_gb: float, seed: int = DEFAULT_SEED,
             campaign: Optional[CampaignConfig] = None,
             **job_kwargs) -> Tuple[JobResult, JobTrace]:
     """One cached capture run: (result, trace)."""
+    from repro.experiments.runner import CapturePoint
+
     campaign = campaign or CampaignConfig()
-    key = _cache_key(job, input_gb, seed, campaign, job_kwargs)
-    hit = _CACHE.get(key)
-    if hit is not None:
-        return hit
-    cluster = HadoopCluster(campaign.cluster_spec(), campaign.hadoop_config(),
-                            seed=seed)
-    spec = make_job(job, input_gb=input_gb, **job_kwargs)
-    results, traces = cluster.run([spec])
-    _CACHE[key] = (results[0], traces[0])
-    return _CACHE[key]
+    point = CapturePoint.from_campaign(job, input_gb, seed, campaign,
+                                       job_kwargs)
+    return make_runner().run_point(point)
 
 
 def capture_campaign(job: str, sizes_gb: Optional[List[float]] = None,
                      seed: int = DEFAULT_SEED,
                      campaign: Optional[CampaignConfig] = None,
+                     workers: int = 1,
                      **job_kwargs) -> List[JobTrace]:
-    """Traces of one job kind across the size sweep (cached per size)."""
+    """Traces of one job kind across the size sweep (cached per size).
+
+    Seeds derive per size via :func:`repro.experiments.runner.
+    derive_seed`, so runs are independent yet reproducible from
+    ``seed``; ``workers > 1`` fans cache-miss points out across
+    processes with flow-for-flow identical output.
+    """
+    from repro.experiments.runner import CapturePoint, derive_seed
+
     sizes_gb = sizes_gb or DEFAULT_SIZES_GB
-    return [capture(job, gb, seed=seed + index, campaign=campaign,
-                    **job_kwargs)[1]
-            for index, gb in enumerate(sizes_gb)]
-
-
-def clear_cache() -> None:
-    """Drop memoised captures (tests use this to force re-simulation)."""
-    _CACHE.clear()
+    campaign = campaign or CampaignConfig()
+    points = [CapturePoint.from_campaign(job, gb, derive_seed(seed, index),
+                                         campaign, job_kwargs)
+              for index, gb in enumerate(sizes_gb)]
+    return [trace for _, trace in make_runner(workers).run(points)]

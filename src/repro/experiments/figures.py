@@ -25,6 +25,7 @@ from repro.experiments.campaigns import (
     capture,
     capture_campaign,
 )
+from repro.experiments.runner import derive_seed
 from repro.generation.generator import generate_trace
 from repro.generation.replay import replay_trace
 from repro.hdfs.placement import RandomPlacementPolicy
@@ -81,7 +82,7 @@ def e02_input_scaling(jobs: Optional[List[str]] = None,
                  "write MiB", "total MiB", "MiB per input GiB"])
     for job in jobs or DEFAULT_JOBS:
         for index, gb in enumerate(sizes_gb):
-            _, trace = capture(job, gb, seed=seed + index)
+            _, trace = capture(job, gb, seed=derive_seed(seed, index))
             read = trace.total_bytes("hdfs_read")
             shuffle = trace.total_bytes("shuffle")
             write = trace.total_bytes("hdfs_write")
@@ -170,7 +171,7 @@ def e06_flow_counts(seed: int = DEFAULT_SEED) -> List[Table]:
         headers=["input GiB", "maps", "reduces", "read flows",
                  "shuffle flows", "maps*reduces", "write flows"])
     for index, gb in enumerate(DEFAULT_SIZES_GB):
-        result, trace = capture("terasort", gb, seed=seed + index)
+        result, trace = capture("terasort", gb, seed=derive_seed(seed, index))
         by_size.add_row(gb, result.num_maps, result.num_reduces,
                         trace.flow_count("hdfs_read"),
                         trace.flow_count("shuffle"),
@@ -300,7 +301,7 @@ def e10_validation(jobs: Optional[List[str]] = None,
         traces = capture_campaign(job, sizes_gb=fit_sizes_gb, seed=seed)
         model = fit_job_model(traces)
         _, captured = capture(job, target_gb,
-                              seed=seed + fit_sizes_gb.index(target_gb)
+                              seed=derive_seed(seed, fit_sizes_gb.index(target_gb))
                               if target_gb in fit_sizes_gb else seed)
         synthetic = generate_trace(model, input_gb=target_gb, seed=seed + 999)
         summary = validation_summary(captured, synthetic)
@@ -329,7 +330,9 @@ def e11_replay(job: str = "terasort", input_gb: float = 1.0,
     """Replay captured vs model-generated traffic through the network."""
     traces = capture_campaign(job, sizes_gb=[0.25, 0.5, 1.0], seed=seed)
     model = fit_job_model(traces)
-    _, captured = capture(job, input_gb, seed=seed + 2)
+    # 1 GiB is index 2 of the [0.25, 0.5, 1.0] fit sweep above, so this
+    # reuses the campaign's capture instead of simulating a new seed.
+    _, captured = capture(job, input_gb, seed=derive_seed(seed, 2))
     gaps_trace = generate_trace(model, input_gb=input_gb, seed=seed + 999,
                                 arrivals="gaps")
     curve_trace = generate_trace(model, input_gb=input_gb, seed=seed + 999,
@@ -363,24 +366,42 @@ def e11_replay(job: str = "terasort", input_gb: float = 1.0,
 
 
 def e12_cluster_scaling(job: str = "terasort", input_gb: float = 1.0,
-                        seed: int = DEFAULT_SEED) -> List[Table]:
-    """Traffic and completion time vs cluster size."""
+                        seed: int = DEFAULT_SEED,
+                        repeats: int = 3) -> List[Table]:
+    """Traffic and completion time vs cluster size.
+
+    JCT noise from placement/straggler draws is of the same order as
+    the 4-node -> 8-node parallelism gain, so every point averages
+    ``repeats`` seeds (traffic volumes are structural and barely vary).
+    """
     table = Table(
-        title=f"E12: {job} {input_gb} GiB vs cluster size",
+        title=f"E12: {job} {input_gb} GiB vs cluster size "
+              f"(mean of {repeats} seeds)",
         headers=["nodes", "racks", "total MiB", "read MiB", "shuffle MiB",
                  "write MiB", "cross-rack share", "JCT s"])
-    for nodes in (4, 8, 16, 32):
+    for node_index, nodes in enumerate((4, 8, 16, 32)):
         campaign = CampaignConfig(nodes=nodes)
-        result, trace = capture(job, input_gb, seed=seed, campaign=campaign)
-        total = trace.total_bytes()
-        cross = trace.cross_rack_bytes()
+        outcomes = [capture(job, input_gb,
+                            seed=derive_seed(seed, node_index, repeat),
+                            campaign=campaign)
+                    for repeat in range(repeats)]
+        totals = [trace.total_bytes() for _, trace in outcomes]
+        mean_total = sum(totals) / len(totals)
+        cross = sum(trace.cross_rack_bytes()
+                    for _, trace in outcomes) / len(outcomes)
+
+        def mean_component(component: str) -> float:
+            return sum(trace.total_bytes(component)
+                       for _, trace in outcomes) / len(outcomes)
+
         table.add_row(nodes, (nodes + campaign.hosts_per_rack - 1)
                       // campaign.hosts_per_rack,
-                      _mib(total), _mib(trace.total_bytes("hdfs_read")),
-                      _mib(trace.total_bytes("shuffle")),
-                      _mib(trace.total_bytes("hdfs_write")),
-                      round(cross / total, 3) if total else 0.0,
-                      round(result.completion_time, 2))
+                      _mib(mean_total), _mib(mean_component("hdfs_read")),
+                      _mib(mean_component("shuffle")),
+                      _mib(mean_component("hdfs_write")),
+                      round(cross / mean_total, 3) if mean_total else 0.0,
+                      round(sum(result.completion_time
+                                for result, _ in outcomes) / len(outcomes), 2))
     table.notes.append("more nodes -> locality dilutes (read traffic and "
                        "cross-rack share grow); JCT improves with early "
                        "parallelism then regresses as remote reads dominate")
@@ -650,7 +671,9 @@ def e18_training_sensitivity(job: str = "terasort", target_gb: float = 2.0,
     2 GiB target) and validated against the held-out target capture.
     """
     all_sizes = [0.25, 0.5, 1.0]
-    _, target = capture(job, target_gb, seed=seed + 3)
+    # The held-out 2 GiB target sits at index 3 of the canonical
+    # [0.25, 0.5, 1.0, 2.0] sweep; derive its seed the same way.
+    _, target = capture(job, target_gb, seed=derive_seed(seed, 3))
     table = Table(
         title=f"E18: fidelity at {target_gb} GiB vs training sizes ({job})",
         headers=["training sizes", "shuffle count err", "shuffle volume err",

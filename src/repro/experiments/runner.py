@@ -1,0 +1,265 @@
+"""Campaign execution: fan independent capture points out to workers.
+
+A campaign is a list of :class:`CapturePoint` — fully described,
+mutually independent simulations (job kind, input size, derived seed,
+cluster + Hadoop configuration, job kwargs).  The
+:class:`CampaignRunner` resolves each point through a three-level
+hierarchy:
+
+1. the process-local memo (:mod:`repro.experiments.campaigns`),
+2. the persistent content-addressed store
+   (:class:`repro.experiments.store.CaptureStore`), and
+3. actual simulation — serial in-process, or fanned out across
+   ``workers`` processes with a ``spawn`` context.
+
+Determinism is the contract that makes the fan-out safe: every point
+carries its own derived seed and builds a fresh
+:class:`~repro.mapreduce.cluster.HadoopCluster`, so a point's
+(result, trace) depends only on the point — never on which worker ran
+it or in what order.  Parallel campaign output is flow-for-flow
+identical to serial output, and both are byte-identical once written
+as JSONL.
+
+Seed derivation
+---------------
+Historically the repo had two formulas — ``seed + size_index`` in the
+campaign memo and ``seed * 10_007 + size_index * 101 + repeat`` in the
+top-level API — so the same logical sweep point hashed to different
+captures depending on the entry path.  :func:`derive_seed` is now the
+single documented rule, used by both.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.capture.records import JobTrace
+from repro.cluster.config import ClusterSpec, HadoopConfig
+from repro.jobs import make_job
+from repro.mapreduce.cluster import HadoopCluster
+from repro.mapreduce.result import JobResult
+from repro.experiments.store import (
+    TRACE_FORMAT_VERSION,
+    CaptureStore,
+    key_hash,
+)
+
+
+def derive_seed(base_seed: int, size_index: int, repeat: int = 0) -> int:
+    """The campaign seed-derivation rule (one formula for all layers).
+
+    ``base_seed * 10_007 + size_index * 101 + repeat`` — multiplying the
+    base by a prime much larger than any sweep keeps campaigns with
+    nearby base seeds from colliding, and the ``* 101`` stride keeps
+    (size_index, repeat) pairs injective for any realistic sweep
+    (repeats < 101).  The function is pure, so serial and parallel
+    execution derive identical seeds for identical points.
+    """
+    return base_seed * 10_007 + size_index * 101 + repeat
+
+
+@dataclass(frozen=True)
+class CapturePoint:
+    """One fully-specified capture: everything a worker needs to run it.
+
+    ``key_config`` is the canonical configuration sub-dict used for
+    content addressing; constructors set it so that logically equal
+    points (same campaign, or same explicit spec+config) share one
+    hash regardless of which API layer built them.
+    """
+
+    job: str
+    input_gb: float
+    seed: int
+    cluster_spec: ClusterSpec
+    hadoop_config: HadoopConfig
+    job_kwargs: Tuple[Tuple[str, Any], ...] = ()
+    key_config: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_campaign(cls, job: str, input_gb: float, seed: int,
+                      campaign: "Any", job_kwargs: Optional[Mapping[str, Any]]
+                      = None) -> "CapturePoint":
+        """Point for a :class:`~repro.experiments.campaigns.CampaignConfig`."""
+        return cls(job=job, input_gb=float(input_gb), seed=int(seed),
+                   cluster_spec=campaign.cluster_spec(),
+                   hadoop_config=campaign.hadoop_config(),
+                   job_kwargs=_freeze(job_kwargs),
+                   key_config=_freeze({"campaign": campaign.to_dict()}))
+
+    @classmethod
+    def from_configs(cls, job: str, input_gb: float, seed: int,
+                     cluster_spec: ClusterSpec, hadoop_config: HadoopConfig,
+                     job_kwargs: Optional[Mapping[str, Any]] = None,
+                     ) -> "CapturePoint":
+        """Point for explicit (ClusterSpec, HadoopConfig) pairs (api layer)."""
+        return cls(job=job, input_gb=float(input_gb), seed=int(seed),
+                   cluster_spec=cluster_spec, hadoop_config=hadoop_config,
+                   job_kwargs=_freeze(job_kwargs),
+                   key_config=_freeze({"cluster": cluster_spec.to_dict(),
+                                       "hadoop": hadoop_config.to_dict()}))
+
+    def key_dict(self) -> Dict[str, Any]:
+        """Canonical key: hash input for the store AND the memo key."""
+        return {
+            "format": TRACE_FORMAT_VERSION,
+            "job": self.job,
+            "input_gb": self.input_gb,
+            "seed": self.seed,
+            "config": _thaw(self.key_config),
+            "job_kwargs": _thaw(self.job_kwargs),
+        }
+
+    def key(self) -> str:
+        return key_hash(self.key_dict())
+
+    def simulate(self) -> Tuple[JobResult, JobTrace]:
+        """Run this point on a fresh cluster (pure function of the point).
+
+        The job id is derived from the point's content hash rather than
+        the process-global job counter, so the (result, trace) bytes
+        are identical no matter which process/worker runs the point or
+        how many jobs ran before it.
+        """
+        kwargs = dict(self.job_kwargs)
+        kwargs.setdefault("job_id", f"job_{self.job}_{self.key()[:10]}")
+        cluster = HadoopCluster(self.cluster_spec, self.hadoop_config,
+                                seed=self.seed)
+        spec = make_job(self.job, input_gb=self.input_gb, **kwargs)
+        results, traces = cluster.run([spec])
+        return results[0], traces[0]
+
+
+def _freeze(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Sorted item-tuple of a kwargs dict (hashable, deterministic)."""
+    if not mapping:
+        return ()
+    return tuple(sorted(mapping.items()))
+
+
+def _thaw(items: Tuple[Tuple[str, Any], ...]) -> Dict[str, Any]:
+    return dict(items)
+
+
+def _simulate_point(point: CapturePoint) -> Tuple[JobResult, JobTrace]:
+    """Module-level worker entry point (picklable under spawn)."""
+    return point.simulate()
+
+
+@dataclass
+class RunnerStats:
+    """What a campaign run actually did, level by level."""
+
+    points: int = 0
+    memo_hits: int = 0
+    store_hits: int = 0
+    simulated: int = 0
+    parallel_simulated: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"points": self.points, "memo_hits": self.memo_hits,
+                "store_hits": self.store_hits, "simulated": self.simulated,
+                "parallel_simulated": self.parallel_simulated}
+
+
+class CampaignRunner:
+    """Resolve capture points through memo → store → (parallel) simulation.
+
+    ``workers <= 1`` simulates in-process; ``workers > 1`` uses a
+    ``spawn``-context :class:`ProcessPoolExecutor` so workers import the
+    package fresh (fork-safety of the simulator's global state is never
+    relied on).  ``memo_get``/``memo_put`` plug in the process-local
+    memo without creating an import cycle with ``campaigns``.
+    """
+
+    def __init__(self, store: Optional[CaptureStore] = None, workers: int = 1,
+                 memo_get=None, memo_put=None):
+        self.store = store
+        self.workers = max(1, int(workers))
+        self._memo_get = memo_get or (lambda key: None)
+        self._memo_put = memo_put or (lambda key, value: None)
+        self.stats = RunnerStats()
+
+    # -- single point -------------------------------------------------------------
+
+    def run_point(self, point: CapturePoint) -> Tuple[JobResult, JobTrace]:
+        return self.run([point])[0]
+
+    # -- campaign -----------------------------------------------------------------
+
+    def run(self, points: Sequence[CapturePoint],
+            ) -> List[Tuple[JobResult, JobTrace]]:
+        """Resolve every point, preserving input order.
+
+        Duplicate points (same key) are simulated at most once per
+        call; later occurrences reuse the first resolution.
+        """
+        results: List[Optional[Tuple[JobResult, JobTrace]]] = [None] * len(points)
+        pending: Dict[str, List[int]] = {}
+        pending_points: Dict[str, CapturePoint] = {}
+        self.stats.points += len(points)
+
+        for index, point in enumerate(points):
+            key = point.key()
+            if key in pending:
+                pending[key].append(index)
+                continue
+            hit = self._memo_get(key)
+            if hit is not None:
+                self.stats.memo_hits += 1
+                results[index] = hit
+                continue
+            if self.store is not None:
+                stored = self.store.get(point.key_dict())
+                if stored is not None:
+                    self.stats.store_hits += 1
+                    self._memo_put(key, stored)
+                    results[index] = stored
+                    continue
+            pending[key] = [index]
+            pending_points[key] = point
+
+        if pending:
+            simulated = self._simulate_all(list(pending_points.items()))
+            for key, value in simulated.items():
+                point = pending_points[key]
+                if self.store is not None:
+                    self.store.put(point.key_dict(), *value)
+                self._memo_put(key, value)
+                for index in pending[key]:
+                    results[index] = value
+        return results  # type: ignore[return-value]
+
+    # -- simulation back-ends -----------------------------------------------------
+
+    def _simulate_all(self, items: List[Tuple[str, CapturePoint]],
+                      ) -> Dict[str, Tuple[JobResult, JobTrace]]:
+        if self.workers == 1 or len(items) == 1:
+            self.stats.simulated += len(items)
+            return {key: _simulate_point(point) for key, point in items}
+        self.stats.simulated += len(items)
+        self.stats.parallel_simulated += len(items)
+        out: Dict[str, Tuple[JobResult, JobTrace]] = {}
+        max_workers = min(self.workers, len(items))
+        with ProcessPoolExecutor(max_workers=max_workers,
+                                 mp_context=get_context("spawn")) as pool:
+            futures = {pool.submit(_simulate_point, point): key
+                       for key, point in items}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    out[futures[future]] = future.result()
+        return out
+
+
+def default_workers() -> int:
+    """Worker count for ``--workers 0`` / auto: one per available core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # non-Linux
+        return max(1, os.cpu_count() or 1)

@@ -1,0 +1,221 @@
+"""Persistent content-addressed store for capture results.
+
+The evaluation is a sweep over job type × input size × cluster
+configuration, and the same (job, size, config, seed) point is
+re-simulated by many benchmark files and CLI invocations.  The
+in-memory memo in :mod:`repro.experiments.campaigns` only helps within
+one process; this store makes captures reusable artifacts across
+processes and runs, the way trace-driven simulator toolchains treat
+traces as first-class build products.
+
+Keying
+------
+An entry's address is the SHA-256 of the canonical JSON of the full
+capture point — ``(job, input_gb, seed, configuration, job_kwargs)``
+plus the trace-format version (:data:`TRACE_FORMAT_VERSION`).  The
+canonical dict is produced by :func:`repro.experiments.runner.
+CapturePoint.key_dict` and shared with the in-memory memo, so both
+caches always agree on what "the same capture" means.  Bumping
+``TRACE_FORMAT_VERSION`` invalidates every existing entry at read time
+(stale entries fall back to re-simulation, they are never trusted).
+
+On-disk format
+--------------
+One file per entry, ``objects/<hh>/<hash>.jsonl`` (two-level fan-out on
+the first hash byte).  The first line is a store header carrying the
+format version, the full canonical key (for debuggability — the hash
+alone is opaque) and the :class:`~repro.mapreduce.result.JobResult`
+summary; every following line is the trace's existing JSONL encoding
+(one meta line, then one line per flow), byte-identical to
+:meth:`JobTrace.to_jsonl`.
+
+Writes are atomic (tmp file in the same directory + ``os.replace``) so
+concurrent writers and crashes can never publish a half-written entry.
+Reads are corruption-tolerant: any parse/validation failure is counted
+and treated as a miss, and the next :meth:`put` simply overwrites the
+bad file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
+from repro.mapreduce.result import JobResult
+
+#: Version of the (key schema, entry layout, trace JSONL schema) triple.
+#: Bump when any of them changes shape; old entries then re-simulate.
+TRACE_FORMAT_VERSION = 1
+
+#: Environment variable naming the default store directory.  Unset =
+#: no persistent store (the in-memory memo still applies).
+STORE_ENV_VAR = "KEDDAH_CAPTURE_STORE"
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace drift."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def key_hash(key: Dict[str, Any]) -> str:
+    """SHA-256 address of a canonical key dict."""
+    return hashlib.sha256(canonical_json(key).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Observability counters for one :class:`CaptureStore`."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    corrupt: int = 0
+    stale: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "writes": self.writes, "corrupt": self.corrupt,
+                "stale": self.stale, "bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written}
+
+
+class CaptureStore:
+    """Content-addressed (JobResult, JobTrace) store rooted at a directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    # -- paths -------------------------------------------------------------------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.root / "objects"
+
+    def entry_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / f"{digest}.jsonl"
+
+    def _entries(self) -> Iterator[Path]:
+        if not self.objects_dir.is_dir():
+            return iter(())
+        return self.objects_dir.glob("*/*.jsonl")
+
+    # -- read --------------------------------------------------------------------
+
+    def get(self, key: Dict[str, Any]) -> Optional[Tuple[JobResult, JobTrace]]:
+        """Look up a capture point; None on miss/corruption/staleness."""
+        path = self.entry_path(key_hash(key))
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            self.stats.misses += 1
+            return None
+        try:
+            entry = self._decode(text)
+        except _StaleEntry:
+            self.stats.stale += 1
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated write, disk corruption, foreign file: re-simulate.
+            self.stats.corrupt += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self.stats.bytes_read += len(text)
+        return entry
+
+    @staticmethod
+    def _decode(text: str) -> Tuple[JobResult, JobTrace]:
+        lines = text.splitlines()
+        header = json.loads(lines[0])
+        store_info = header["store"]
+        if store_info["format"] != TRACE_FORMAT_VERSION:
+            raise _StaleEntry(store_info["format"])
+        result = JobResult.from_dict(header["result"])
+        meta_line = json.loads(lines[1])
+        meta = CaptureMeta.from_dict(meta_line["meta"])
+        flows = [FlowRecord.from_dict(json.loads(line))
+                 for line in lines[2:] if line.strip()]
+        trace = JobTrace(meta=meta, flows=flows)
+        if trace.meta.job_id != result.job_id:
+            raise ValueError("entry result/trace job ids disagree")
+        return result, trace
+
+    # -- write -------------------------------------------------------------------
+
+    def put(self, key: Dict[str, Any], result: JobResult,
+            trace: JobTrace) -> Path:
+        """Atomically publish one entry; returns its path."""
+        digest = key_hash(key)
+        path = self.entry_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"store": {"format": TRACE_FORMAT_VERSION, "key": key},
+                  "result": result.to_dict()}
+        lines = [json.dumps(header),
+                 json.dumps({"meta": trace.meta.to_dict()})]
+        lines.extend(json.dumps(flow.to_dict()) for flow in trace.flows)
+        payload = "\n".join(lines) + "\n"
+        # tmp in the same directory so os.replace stays a same-fs rename.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=f".{digest[:12]}.",
+                                        suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        self.stats.bytes_written += len(payload)
+        return path
+
+    # -- maintenance -------------------------------------------------------------
+
+    def clear(self) -> int:
+        """Invalidate the store: delete every entry, return the count."""
+        removed = 0
+        for path in list(self._entries()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_count(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    def size_bytes(self) -> int:
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+
+class _StaleEntry(Exception):
+    """Entry written under a different TRACE_FORMAT_VERSION."""
+
+
+def store_from_env(environ: Optional[Dict[str, str]] = None,
+                   ) -> Optional[CaptureStore]:
+    """The default store named by ``KEDDAH_CAPTURE_STORE``, if any."""
+    environ = os.environ if environ is None else environ
+    root = environ.get(STORE_ENV_VAR, "").strip()
+    return CaptureStore(root) if root else None

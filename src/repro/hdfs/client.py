@@ -32,8 +32,6 @@ from repro.hdfs.namenode import NameNode
 from repro.net.network import FlowNetwork
 from repro.simkit.core import Simulator
 
-_write_ids = itertools.count(1)
-
 
 class DfsClient:
     """Client-side HDFS operations over the flow network."""
@@ -45,6 +43,10 @@ class DfsClient:
         self.namenode = namenode
         self.datanodes = datanodes
         self.config = config
+        # Per-client write ids keep port tags (and hence trace bytes)
+        # independent of how many writes earlier clusters in this
+        # process performed.
+        self._write_ids = itertools.count(1)
 
     # -- write path -------------------------------------------------------------
 
@@ -72,7 +74,7 @@ class DfsClient:
     def _write_pipeline(self, location: BlockLocation, writer: Host,
                         job_id: str, component: str):
         """Run one block's replication pipeline; waits for all hops."""
-        write_id = next(_write_ids)
+        write_id = next(self._write_ids)
         chain = [writer] + list(location.replicas)
         # Writer == first replica (the normal case) collapses hop 0 to local I/O.
         if chain[0] == chain[1]:

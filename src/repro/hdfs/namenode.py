@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -35,6 +36,9 @@ class NameNode:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._files: Dict[str, List[Block]] = {}
         self._locations: Dict[int, BlockLocation] = {}
+        # Per-namespace block ids: read-path port tags embed the block
+        # id, so it must not depend on process history.
+        self._block_ids = itertools.count(1)
         self._dead: set = set()
         self._decommissioning: set = set()
 
@@ -152,7 +156,8 @@ class NameNode:
             raise RuntimeError("no live DataNodes to place a block on")
         if writer is not None and writer in self._dead:
             writer = None
-        block = Block(path=path, index=len(blocks), size=size)
+        block = Block(path=path, index=len(blocks), size=size,
+                      block_id=next(self._block_ids))
         targets = self.policy.choose_targets(live, replication, writer, self.rng)
         location = BlockLocation(block=block, replicas=targets)
         blocks.append(block)

@@ -47,6 +47,10 @@ class RoundResult:
     def to_dict(self) -> Dict[str, Any]:
         return asdict(self)
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "RoundResult":
+        return cls(**data)
+
 
 @dataclass
 class JobResult:
@@ -109,4 +113,13 @@ class JobResult:
             "kind": self.kind,
             "input_bytes": self.input_bytes,
             "rounds": [r.to_dict() for r in self.rounds],
+            "submitted_at": self.submitted_at,
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "JobResult":
+        return cls(job_id=data["job_id"], kind=data["kind"],
+                   input_bytes=data["input_bytes"],
+                   rounds=[RoundResult.from_dict(r)
+                           for r in data.get("rounds", [])],
+                   submitted_at=data.get("submitted_at"))

@@ -27,12 +27,16 @@ class Flow:
 
     def __init__(self, src: Host, dst: Host, size: float, done: Signal,
                  max_rate: Optional[float] = None,
-                 metadata: Optional[Dict[str, Any]] = None):
+                 metadata: Optional[Dict[str, Any]] = None,
+                 flow_id: Optional[int] = None):
         if size < 0:
             raise ValueError(f"flow size must be >= 0, got {size}")
         if max_rate is not None and max_rate <= 0:
             raise ValueError(f"max_rate must be positive, got {max_rate}")
-        self.flow_id = next(_flow_ids)
+        # FlowNetwork passes per-network ids so simulations are
+        # reproducible regardless of process history; the global
+        # counter only backs direct constructions.
+        self.flow_id = next(_flow_ids) if flow_id is None else flow_id
         self.src = src
         self.dst = dst
         self.size = float(size)

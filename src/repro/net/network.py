@@ -42,6 +42,7 @@ the whole fluid engine live on :attr:`FlowNetwork.perf`.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -82,6 +83,9 @@ class FlowNetwork:
         self.hop_latency = hop_latency
         self.batch_updates = batch_updates
         self.active: Dict[int, Flow] = {}
+        # Per-network flow ids: simulations are reproducible no matter
+        # how many flows earlier clusters in this process created.
+        self._flow_ids = itertools.count(1)
         self.completed_count = 0
         self.total_bytes = 0.0
         self.link_bytes: Dict[Tuple[object, object], float] = defaultdict(float)
@@ -140,7 +144,8 @@ class FlowNetwork:
         flow as payload) at the fluid completion time.
         """
         done = self.sim.signal(name="flow.done")
-        flow = Flow(src, dst, size, done, max_rate=max_rate, metadata=metadata)
+        flow = Flow(src, dst, size, done, max_rate=max_rate, metadata=metadata,
+                    flow_id=next(self._flow_ids))
         flow.start_time = self.sim.now
         flow.last_update = self.sim.now
         if flow.local or size == 0:

@@ -1,0 +1,186 @@
+"""Capture store: addressing, atomicity, robustness to bad entries."""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments import store as store_mod
+from repro.experiments.campaigns import CampaignConfig
+from repro.experiments.runner import CampaignRunner, CapturePoint
+from repro.experiments.store import (
+    STORE_ENV_VAR,
+    TRACE_FORMAT_VERSION,
+    CaptureStore,
+    canonical_json,
+    key_hash,
+    store_from_env,
+)
+
+SMALL = CampaignConfig(nodes=4, hosts_per_rack=2)
+
+
+def _point(job="grep", gb=0.0625, seed=11, **job_kwargs):
+    return CapturePoint.from_campaign(job, gb, seed, SMALL, job_kwargs)
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A store holding one simulated point; returns (store, point, entry)."""
+    store = CaptureStore(tmp_path / "store")
+    point = _point()
+    entry = CampaignRunner(store=store, workers=1).run_point(point)
+    return store, point, entry
+
+
+# -- keying -------------------------------------------------------------------------
+
+
+def test_key_dict_is_canonical_and_stable():
+    a = _point(num_reducers=2, iterations=3)
+    b = _point(iterations=3, num_reducers=2)  # kwargs in another order
+    assert a.key_dict() == b.key_dict()
+    assert a.key() == b.key()
+    assert a.key() == key_hash(a.key_dict())
+
+
+def test_key_distinguishes_every_axis():
+    base = _point()
+    assert _point(gb=0.125).key() != base.key()
+    assert _point(seed=12).key() != base.key()
+    assert _point(job="teragen").key() != base.key()
+    assert _point(num_reducers=2).key() != base.key()
+    other_campaign = CapturePoint.from_campaign(
+        "grep", 0.0625, 11, CampaignConfig(nodes=8, hosts_per_rack=2))
+    assert other_campaign.key() != base.key()
+
+
+def test_key_includes_format_version():
+    assert _point().key_dict()["format"] == TRACE_FORMAT_VERSION
+
+
+def test_canonical_json_is_order_insensitive():
+    assert canonical_json({"b": 1, "a": {"d": 2, "c": 3}}) == \
+        canonical_json({"a": {"c": 3, "d": 2}, "b": 1})
+
+
+# -- round trip ---------------------------------------------------------------------
+
+
+def test_store_roundtrip_preserves_result_and_trace(populated):
+    store, point, (result, trace) = populated
+    loaded = store.get(point.key_dict())
+    assert loaded is not None
+    loaded_result, loaded_trace = loaded
+    assert loaded_result.to_dict() == result.to_dict()
+    assert loaded_trace.meta.to_dict() == trace.meta.to_dict()
+    assert [f.to_dict() for f in loaded_trace.flows] == \
+        [f.to_dict() for f in trace.flows]
+
+
+def test_entry_file_embeds_trace_jsonl_verbatim(populated, tmp_path):
+    store, point, (_, trace) = populated
+    path = store.entry_path(point.key())
+    lines = path.read_text().splitlines()
+    reference = tmp_path / "ref.jsonl"
+    trace.to_jsonl(reference)
+    assert lines[1:] == reference.read_text().splitlines()
+
+
+def test_miss_on_unknown_key(tmp_path):
+    store = CaptureStore(tmp_path / "store")
+    assert store.get(_point().key_dict()) is None
+    assert store.stats.misses == 1
+
+
+# -- robustness ---------------------------------------------------------------------
+
+
+def test_truncated_entry_falls_back_to_resimulation(populated):
+    store, point, (_, trace) = populated
+    path = store.entry_path(point.key())
+    path.write_text(path.read_text()[: len(path.read_text()) // 3])
+
+    assert store.get(point.key_dict()) is None
+    assert store.stats.corrupt == 1
+
+    runner = CampaignRunner(store=store, workers=1)
+    _, again = runner.run_point(point)
+    assert runner.stats.simulated == 1  # re-simulated, did not raise
+    assert [f.to_dict() for f in again.flows] == \
+        [f.to_dict() for f in trace.flows]
+    assert store.get(point.key_dict()) is not None  # overwrote the bad entry
+
+
+def test_garbage_entry_is_a_miss_not_an_error(populated):
+    store, point, _ = populated
+    store.entry_path(point.key()).write_text("not json at all\n{]")
+    assert store.get(point.key_dict()) is None
+    assert store.stats.corrupt == 1
+
+
+def test_stale_format_version_falls_back_to_resimulation(populated):
+    store, point, _ = populated
+    path = store.entry_path(point.key())
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["store"]["format"] = TRACE_FORMAT_VERSION - 1
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+
+    assert store.get(point.key_dict()) is None
+    assert store.stats.stale == 1
+    assert store.stats.corrupt == 0
+
+    runner = CampaignRunner(store=store, workers=1)
+    runner.run_point(point)
+    assert runner.stats.simulated == 1
+
+
+def test_mismatched_result_and_trace_is_corrupt(populated):
+    store, point, _ = populated
+    path = store.entry_path(point.key())
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    header["result"]["job_id"] = "someone_else"
+    path.write_text("\n".join([json.dumps(header)] + lines[1:]) + "\n")
+    assert store.get(point.key_dict()) is None
+    assert store.stats.corrupt == 1
+
+
+def test_writes_leave_no_tmp_droppings(populated):
+    store, point, _ = populated
+    parent = store.entry_path(point.key()).parent
+    assert [p.name for p in parent.iterdir() if p.suffix == ".tmp"] == []
+
+
+# -- maintenance --------------------------------------------------------------------
+
+
+def test_clear_invalidates_everything(populated):
+    store, point, _ = populated
+    assert store.entry_count() == 1
+    assert store.size_bytes() > 0
+    assert store.clear() == 1
+    assert store.entry_count() == 0
+    assert store.get(point.key_dict()) is None
+
+
+def test_counters_track_traffic(populated):
+    store, point, _ = populated
+    store.get(point.key_dict())
+    stats = store.stats.to_dict()
+    assert stats["writes"] == 1
+    assert stats["hits"] == 1
+    assert stats["bytes_written"] > 0
+    assert stats["bytes_read"] == stats["bytes_written"]
+
+
+# -- environment wiring -------------------------------------------------------------
+
+
+def test_store_from_env(tmp_path):
+    assert store_from_env({}) is None
+    assert store_from_env({STORE_ENV_VAR: ""}) is None
+    store = store_from_env({STORE_ENV_VAR: str(tmp_path / "s")})
+    assert isinstance(store, CaptureStore)
+    assert store.root == tmp_path / "s"
