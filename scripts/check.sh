@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Repo health gate: lint (when available) + tier-1 tests + telemetry
+# null-path smoke.  Run it before committing, and from
+# scripts/run_benchmarks.sh (opt out with KEDDAH_SKIP_CHECK=1).
+#
+# Usage: scripts/check.sh [extra pytest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+# 1. Lint — ruff is optional in the minimal container; skip gracefully.
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff =="
+    ruff check src tests benchmarks scripts
+else
+    echo "== ruff: not installed, skipping lint =="
+fi
+
+# 2. Tier-1 tests (benchmarks/ are excluded by their conftest).
+echo "== tier-1 pytest =="
+python -m pytest -x -q "$@"
+
+# 3. Telemetry null-path smoke: an un-configured run must emit zero
+#    spans and zero probe samples while the perf counters stay live.
+echo "== telemetry null-path smoke =="
+python - <<'EOF'
+from repro.api import run_capture
+from repro.obs import NULL_SINK, Telemetry
+
+telemetry = Telemetry.disabled()
+trace = run_capture("terasort", input_gb=0.125, nodes=4, seed=1,
+                    telemetry=telemetry)
+assert telemetry.sink is NULL_SINK, "disabled telemetry allocated a sink"
+assert telemetry.tracer.spans_started == 0, "null path started spans"
+assert telemetry.tracer.spans_emitted == 0, "null path emitted spans"
+assert telemetry.probes.total_samples() == 0, "null path sampled probes"
+assert telemetry.registry.value("sim.events_fired") > 0, \
+    "registry counters must stay live on the null path"
+print(f"null path clean: {trace.flow_count()} flows, "
+      f"{int(telemetry.registry.value('sim.events_fired'))} events, "
+      "0 spans, 0 probe samples")
+EOF
+
+echo "check.sh: all gates passed"

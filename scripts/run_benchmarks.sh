@@ -17,6 +17,13 @@ cd "$(dirname "$0")/.."
 out="${1:-BENCH_substrate.json}"
 shift || true
 
+# Health gate first (lint + tier-1 + telemetry null-path smoke), so
+# benchmark numbers are never recorded off a broken tree.  Opt out with
+# KEDDAH_SKIP_CHECK=1 when iterating on benchmarks alone.
+if [[ "${KEDDAH_SKIP_CHECK:-0}" != "1" ]]; then
+    scripts/check.sh
+fi
+
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_substrate_perf.py \
     --benchmark-only \
@@ -25,5 +32,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_campaign.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_telemetry_overhead.py \
     -m benchmark_suite \
     -q -s "$@"

@@ -20,6 +20,7 @@ from repro.generation.replay import replay_trace
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
 from repro.modeling.model import fit_job_model
+from repro.obs.telemetry import Telemetry
 
 __all__ = [
     "fit_job_model",
@@ -34,6 +35,7 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
                 config: Optional[HadoopConfig] = None,
                 cluster_spec: Optional[ClusterSpec] = None,
                 hosts_per_rack: int = 4,
+                telemetry: Optional[Telemetry] = None,
                 **job_kwargs) -> JobTrace:
     """Run one job on a fresh simulated cluster; return its capture.
 
@@ -41,10 +43,13 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
     ``job_kwargs`` pass through to :func:`repro.jobs.make_job` (e.g.
     ``num_reducers=32`` or ``iterations=5``).  ``cluster_spec`` wins
     over the ``nodes``/``hosts_per_rack`` shortcuts when provided.
+    ``telemetry`` (e.g. ``Telemetry.enabled_in_memory()``) observes the
+    run without changing the captured bytes.
     """
     spec = cluster_spec or ClusterSpec(num_nodes=nodes,
                                        hosts_per_rack=hosts_per_rack)
-    cluster = HadoopCluster(spec, config or HadoopConfig(), seed=seed)
+    cluster = HadoopCluster(spec, config or HadoopConfig(), seed=seed,
+                            telemetry=telemetry)
     job_spec = make_job(job, input_gb=input_gb, **job_kwargs)
     _, traces = cluster.run([job_spec])
     return traces[0]

@@ -9,10 +9,14 @@ Subcommands mirror the pipeline stages::
     keddah generate --model model.json --input-gb 4.0 -o synthetic.jsonl
     keddah replay   trace.jsonl
     keddah export   trace.jsonl --format ns3 -o replay.cc
-    keddah report   trace.jsonl
+    keddah report   trace.jsonl --telemetry telemetry/
+    keddah trace    telemetry/spans.jsonl --kinds job,stage,task
 
 Every command reads/writes the JSONL trace and JSON model formats, so
-stages can be mixed with externally produced data.
+stages can be mixed with externally produced data.  ``capture`` and
+``campaign`` accept ``--telemetry DIR`` to observe the run (metrics,
+probes, spans) without changing the captured bytes; ``report`` and
+``trace`` read those artefacts back.
 """
 
 from __future__ import annotations
@@ -58,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="persistent capture-store directory (defaults "
                               "to $KEDDAH_CAPTURE_STORE; reuses a stored "
                               "capture instead of re-simulating)")
+    capture.add_argument("--telemetry", default=None, metavar="DIR",
+                         help="enable telemetry and write metrics/probes/"
+                              "spans artefacts into this directory")
+    capture.add_argument("--probe-interval", type=float, default=1.0,
+                         help="probe sampling cadence in simulated seconds "
+                              "(with --telemetry)")
 
     campaign = sub.add_parser(
         "campaign", help="run a capture sweep (jobs x input sizes), "
@@ -83,6 +93,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "to $KEDDAH_CAPTURE_STORE)")
     campaign.add_argument("--invalidate", action="store_true",
                           help="clear the store before running")
+    campaign.add_argument("--telemetry", default=None, metavar="DIR",
+                          help="enable telemetry and write the aggregated "
+                               "registry artefacts into this directory "
+                               "(worker span streams stay per-process)")
     campaign.add_argument("-o", "--output", default=None,
                           help="optional directory for per-point trace files")
 
@@ -127,6 +141,25 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--full", action="store_true",
                         help="print everything: breakdown, hotspots, "
                              "rack matrix and the traffic-over-time profile")
+    report.add_argument("--telemetry", default=None, metavar="DIR",
+                        help="also summarise a telemetry directory written "
+                             "by capture/campaign --telemetry")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="render a telemetry span tree (lifecycle trace)")
+    trace_cmd.add_argument("spans",
+                           help="spans.jsonl path, or a telemetry directory "
+                                "containing one")
+    trace_cmd.add_argument("--kinds", default=None,
+                           help="comma-separated span kinds to show (e.g. "
+                                "job,stage,task); hidden spans' children "
+                                "are re-parented")
+    trace_cmd.add_argument("--max-depth", type=int, default=None,
+                           help="deepest tree level to print")
+    trace_cmd.add_argument("--max-children", type=int, default=20,
+                           help="children shown per span before eliding")
+    trace_cmd.add_argument("--summary-only", action="store_true",
+                           help="print only the per-kind summary table")
 
     validate = sub.add_parser(
         "validate", help="compare a synthetic trace against a capture")
@@ -185,12 +218,34 @@ def _resolve_store(path: Optional[str]):
     return store_from_env()
 
 
+def _telemetry_from_args(args: argparse.Namespace):
+    """An enabled in-memory Telemetry when --telemetry DIR was given."""
+    if not getattr(args, "telemetry", None):
+        return None
+    from repro.obs import Telemetry
+
+    interval = getattr(args, "probe_interval", None)
+    if interval is None:
+        from repro.obs import DEFAULT_PROBE_INTERVAL
+        interval = DEFAULT_PROBE_INTERVAL
+    return Telemetry.enabled_in_memory(probe_interval=interval)
+
+
+def _write_telemetry_dir(telemetry, directory: str) -> None:
+    from repro.obs.export import write_telemetry
+
+    paths = write_telemetry(telemetry, directory)
+    telemetry.close()
+    print(f"telemetry ({len(paths)} artefacts) -> {directory}")
+
+
 def cmd_capture(args: argparse.Namespace) -> int:
     config = HadoopConfig(block_size=args.block_mb * MB,
                           num_reducers=args.reducers,
                           replication=args.replication,
                           scheduler=args.scheduler)
     store = _resolve_store(args.store)
+    telemetry = _telemetry_from_args(args)
     if store is not None:
         from repro.cluster.config import ClusterSpec
         from repro.experiments.runner import CampaignRunner, CapturePoint
@@ -199,16 +254,20 @@ def cmd_capture(args: argparse.Namespace) -> int:
                            hosts_per_rack=args.hosts_per_rack)
         point = CapturePoint.from_configs(args.job, args.input_gb, args.seed,
                                           spec, config)
-        _, trace = CampaignRunner(store=store).run_point(point)
+        _, trace = CampaignRunner(store=store,
+                                  telemetry=telemetry).run_point(point)
         origin = "store" if store.stats.hits else "simulated"
     else:
         trace = run_capture(args.job, input_gb=args.input_gb, nodes=args.nodes,
                             seed=args.seed, config=config,
-                            hosts_per_rack=args.hosts_per_rack)
+                            hosts_per_rack=args.hosts_per_rack,
+                            telemetry=telemetry)
         origin = "simulated"
     trace.to_jsonl(args.output)
     print(f"captured {trace.flow_count()} flows "
           f"({trace.total_bytes() / MB:.1f} MiB, {origin}) -> {args.output}")
+    if telemetry is not None:
+        _write_telemetry_dir(telemetry, args.telemetry)
     return 0
 
 
@@ -216,9 +275,14 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     import time
 
     from repro.capture.records import save_traces
-    from repro.experiments.campaigns import CampaignConfig
+    from repro.experiments.campaigns import (
+        CampaignConfig,
+        cache_stats,
+        get_store,
+        make_runner,
+        set_store,
+    )
     from repro.experiments.runner import (
-        CampaignRunner,
         CapturePoint,
         default_workers,
         derive_seed,
@@ -250,10 +314,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                                          campaign)
               for job in args.jobs
               for index, gb in enumerate(sizes)]
-    runner = CampaignRunner(store=store, workers=workers)
+    # Route through the campaign cache hierarchy (memo + store), so
+    # cache_stats() below reports what this run actually hit.  The
+    # previous store is restored on exit (embedders share the global).
+    previous_store = get_store()
+    set_store(store)
+    telemetry = _telemetry_from_args(args)
+    runner = make_runner(workers, telemetry=telemetry)
     started = time.perf_counter()
-    outcomes = runner.run(points)
-    elapsed = time.perf_counter() - started
+    try:
+        outcomes = runner.run(points)
+    finally:
+        elapsed = time.perf_counter() - started
 
     table = Table(title=f"campaign: {len(args.jobs)} job(s) x {len(sizes)} "
                         f"size(s), {workers} worker(s)",
@@ -271,6 +343,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if store is not None:
         table.notes.append(f"store {store.root}: {store.stats.to_dict()}")
     print(render_table(table))
+    caches = cache_stats()
+    set_store(previous_store)
+    memo = caches["memo"]
+    line = (f"cache stats: memo {memo['hits']} hit(s) / "
+            f"{memo['misses']} miss(es), {memo['entries']} entr(ies)")
+    if "store" in caches:
+        store_stats = caches["store"]
+        line += (f"; store {store_stats['hits']} hit(s) / "
+                 f"{store_stats['misses']} miss(es), "
+                 f"{store_stats['writes']} write(s)")
+    print(line)
+    if telemetry is not None:
+        _write_telemetry_dir(telemetry, args.telemetry)
     if args.output:
         paths = save_traces([trace for _, trace in outcomes], args.output)
         print(f"{len(paths)} traces -> {args.output}")
@@ -535,6 +620,48 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(render_table(rack_matrix_table(trace)))
         print()
         print(render_table(phase_profile(trace)))
+    if getattr(args, "telemetry", None):
+        from repro.obs.export import (
+            load_telemetry_dir,
+            metrics_table,
+            probes_table,
+            span_summary_table,
+        )
+
+        metrics, probes, spans = load_telemetry_dir(args.telemetry)
+        print()
+        print(render_table(metrics_table(
+            metrics, title=f"telemetry metrics ({args.telemetry})")))
+        if probes.series:
+            print()
+            print(render_table(probes_table(probes)))
+        if spans:
+            print()
+            print(render_table(span_summary_table(spans)))
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_span_tree, span_summary_table
+    from repro.obs.trace import load_spans
+
+    path = Path(args.spans)
+    if path.is_dir():
+        path = path / "spans.jsonl"
+    if not path.is_file():
+        print(f"no span stream at {path} (run capture --telemetry DIR first)")
+        return 2
+    spans = load_spans(str(path))
+    if not spans:
+        print(f"{path}: no spans recorded")
+        return 0
+    print(render_table(span_summary_table(spans, title=f"spans in {path}")))
+    if not args.summary_only:
+        kinds = ([part.strip() for part in args.kinds.split(",") if part.strip()]
+                 if args.kinds else None)
+        print()
+        print(render_span_tree(spans, max_depth=args.max_depth,
+                               max_children=args.max_children, kinds=kinds))
     return 0
 
 
@@ -547,6 +674,7 @@ _COMMANDS = {
     "replay": cmd_replay,
     "export": cmd_export,
     "report": cmd_report,
+    "trace": cmd_trace,
     "experiment": cmd_experiment,
     "workload": cmd_workload,
     "validate": cmd_validate,

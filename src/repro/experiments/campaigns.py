@@ -179,12 +179,13 @@ def clear_cache() -> None:
     _MEMO.clear()
 
 
-def make_runner(workers: int = 1):
+def make_runner(workers: int = 1, telemetry=None):
     """A CampaignRunner wired to the process memo and active store."""
     from repro.experiments.runner import CampaignRunner
 
     return CampaignRunner(store=get_store(), workers=workers,
-                          memo_get=_MEMO.get, memo_put=_MEMO.put)
+                          memo_get=_MEMO.get, memo_put=_MEMO.put,
+                          telemetry=telemetry)
 
 
 # -- capture entry points ------------------------------------------------------------

@@ -42,6 +42,7 @@ from repro.cluster.config import ClusterSpec, HadoopConfig
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
 from repro.mapreduce.result import JobResult
+from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.experiments.store import (
     TRACE_FORMAT_VERSION,
     CaptureStore,
@@ -117,18 +118,21 @@ class CapturePoint:
     def key(self) -> str:
         return key_hash(self.key_dict())
 
-    def simulate(self) -> Tuple[JobResult, JobTrace]:
+    def simulate(self, telemetry: Optional[Telemetry] = None,
+                 ) -> Tuple[JobResult, JobTrace]:
         """Run this point on a fresh cluster (pure function of the point).
 
         The job id is derived from the point's content hash rather than
         the process-global job counter, so the (result, trace) bytes
         are identical no matter which process/worker runs the point or
-        how many jobs ran before it.
+        how many jobs ran before it — telemetry included: spans and
+        probes only read engine state, so passing an enabled
+        ``telemetry`` never changes the returned bytes.
         """
         kwargs = dict(self.job_kwargs)
         kwargs.setdefault("job_id", f"job_{self.job}_{self.key()[:10]}")
         cluster = HadoopCluster(self.cluster_spec, self.hadoop_config,
-                                seed=self.seed)
+                                seed=self.seed, telemetry=telemetry)
         spec = make_job(self.job, input_gb=self.input_gb, **kwargs)
         results, traces = cluster.run([spec])
         return results[0], traces[0]
@@ -150,9 +154,33 @@ def _simulate_point(point: CapturePoint) -> Tuple[JobResult, JobTrace]:
     return point.simulate()
 
 
+def _simulate_point_observed(
+        point: CapturePoint, config: Optional[TelemetryConfig],
+) -> Tuple[Tuple[JobResult, JobTrace], Dict[str, Any]]:
+    """Worker entry point that also returns a telemetry snapshot.
+
+    The worker builds its own telemetry from the picklable ``config``
+    (span sinks stay per-process — workers default to the null sink)
+    and ships its registry snapshot back for the parent to absorb.
+    """
+    telemetry = config.build() if config is not None else Telemetry.disabled()
+    value = point.simulate(telemetry=telemetry)
+    return value, telemetry.snapshot()
+
+
+#: The per-level counters a runner keeps, in presentation order.
+_RUNNER_STAT_FIELDS = ("points", "memo_hits", "store_hits", "simulated",
+                       "parallel_simulated")
+
+
 @dataclass
 class RunnerStats:
-    """What a campaign run actually did, level by level."""
+    """Read-only snapshot of what a campaign run did, level by level.
+
+    Live counters moved onto the runner telemetry's registry
+    (``campaign.*``); this dataclass survives as the compatibility view
+    handed out by :attr:`CampaignRunner.stats`.
+    """
 
     points: int = 0
     memo_hits: int = 0
@@ -177,12 +205,25 @@ class CampaignRunner:
     """
 
     def __init__(self, store: Optional[CaptureStore] = None, workers: int = 1,
-                 memo_get=None, memo_put=None):
+                 memo_get=None, memo_put=None,
+                 telemetry: Optional[Telemetry] = None):
         self.store = store
         self.workers = max(1, int(workers))
         self._memo_get = memo_get or (lambda key: None)
         self._memo_put = memo_put or (lambda key, value: None)
-        self.stats = RunnerStats()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        registry = self.telemetry.registry
+        self._counters = {name: registry.counter(f"campaign.{name}")
+                          for name in _RUNNER_STAT_FIELDS}
+
+    @property
+    def stats(self) -> RunnerStats:
+        """Compatibility view of the registry-backed counters."""
+        return RunnerStats(**{name: int(counter.value)
+                              for name, counter in self._counters.items()})
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        self._counters[name].value += amount
 
     # -- single point -------------------------------------------------------------
 
@@ -201,7 +242,7 @@ class CampaignRunner:
         results: List[Optional[Tuple[JobResult, JobTrace]]] = [None] * len(points)
         pending: Dict[str, List[int]] = {}
         pending_points: Dict[str, CapturePoint] = {}
-        self.stats.points += len(points)
+        self._count("points", len(points))
 
         for index, point in enumerate(points):
             key = point.key()
@@ -210,13 +251,13 @@ class CampaignRunner:
                 continue
             hit = self._memo_get(key)
             if hit is not None:
-                self.stats.memo_hits += 1
+                self._count("memo_hits")
                 results[index] = hit
                 continue
             if self.store is not None:
                 stored = self.store.get(point.key_dict())
                 if stored is not None:
-                    self.stats.store_hits += 1
+                    self._count("store_hits")
                     self._memo_put(key, stored)
                     results[index] = stored
                     continue
@@ -239,21 +280,31 @@ class CampaignRunner:
     def _simulate_all(self, items: List[Tuple[str, CapturePoint]],
                       ) -> Dict[str, Tuple[JobResult, JobTrace]]:
         if self.workers == 1 or len(items) == 1:
-            self.stats.simulated += len(items)
-            return {key: _simulate_point(point) for key, point in items}
-        self.stats.simulated += len(items)
-        self.stats.parallel_simulated += len(items)
+            # In-process: points run directly against the runner's
+            # telemetry, so counters/spans/probes accumulate in place.
+            self._count("simulated", len(items))
+            return {key: point.simulate(telemetry=self.telemetry)
+                    for key, point in items}
+        self._count("simulated", len(items))
+        self._count("parallel_simulated", len(items))
         out: Dict[str, Tuple[JobResult, JobTrace]] = {}
         max_workers = min(self.workers, len(items))
+        # Workers re-create telemetry from the picklable config (null
+        # span sink — span streams stay per-process) and return their
+        # registry snapshots, which the parent merges in.
+        worker_config = self.telemetry.config()
         with ProcessPoolExecutor(max_workers=max_workers,
                                  mp_context=get_context("spawn")) as pool:
-            futures = {pool.submit(_simulate_point, point): key
+            futures = {pool.submit(_simulate_point_observed, point,
+                                   worker_config): key
                        for key, point in items}
             remaining = set(futures)
             while remaining:
                 done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
-                    out[futures[future]] = future.result()
+                    value, snapshot = future.result()
+                    self.telemetry.absorb(snapshot)
+                    out[futures[future]] = value
         return out
 
 

@@ -48,6 +48,7 @@ from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
 from repro.mapreduce.result import JobResult
+from repro.obs.metrics import MetricsRegistry
 
 #: Version of the (key schema, entry layout, trace JSONL schema) triple.
 #: Bump when any of them changes shape; old entries then re-simulate.
@@ -69,9 +70,20 @@ def key_hash(key: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical_json(key).encode("utf-8")).hexdigest()
 
 
+#: The counter fields a store keeps, in presentation order.
+_STAT_FIELDS = ("hits", "misses", "writes", "corrupt", "stale",
+                "bytes_read", "bytes_written")
+
+
 @dataclass
 class StoreStats:
-    """Observability counters for one :class:`CaptureStore`."""
+    """Read-only snapshot of one :class:`CaptureStore`'s counters.
+
+    The live counters moved onto a telemetry
+    :class:`~repro.obs.metrics.MetricsRegistry` (``store.*``); this
+    dataclass survives as the compatibility view handed out by
+    :attr:`CaptureStore.stats`.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -91,9 +103,21 @@ class StoreStats:
 class CaptureStore:
     """Content-addressed (JobResult, JobTrace) store rooted at a directory."""
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path,
+                 registry: Optional[MetricsRegistry] = None):
         self.root = Path(root)
-        self.stats = StoreStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {name: self.registry.counter(f"store.{name}")
+                          for name in _STAT_FIELDS}
+
+    @property
+    def stats(self) -> StoreStats:
+        """Compatibility view of the registry-backed counters."""
+        return StoreStats(**{name: int(counter.value)
+                             for name, counter in self._counters.items()})
+
+    def _count(self, name: str, amount: float = 1) -> None:
+        self._counters[name].value += amount
 
     # -- paths -------------------------------------------------------------------
 
@@ -117,21 +141,21 @@ class CaptureStore:
         try:
             text = path.read_text(encoding="utf-8")
         except OSError:
-            self.stats.misses += 1
+            self._count("misses")
             return None
         try:
             entry = self._decode(text)
         except _StaleEntry:
-            self.stats.stale += 1
-            self.stats.misses += 1
+            self._count("stale")
+            self._count("misses")
             return None
         except Exception:
             # Truncated write, disk corruption, foreign file: re-simulate.
-            self.stats.corrupt += 1
-            self.stats.misses += 1
+            self._count("corrupt")
+            self._count("misses")
             return None
-        self.stats.hits += 1
-        self.stats.bytes_read += len(text)
+        self._count("hits")
+        self._count("bytes_read", len(text))
         return entry
 
     @staticmethod
@@ -179,8 +203,8 @@ class CaptureStore:
             except OSError:
                 pass
             raise
-        self.stats.writes += 1
-        self.stats.bytes_written += len(payload)
+        self._count("writes")
+        self._count("bytes_written", len(payload))
         return path
 
     # -- maintenance -------------------------------------------------------------

@@ -47,12 +47,20 @@ class DfsClient:
         # independent of how many writes earlier clusters in this
         # process performed.
         self._write_ids = itertools.count(1)
+        self.telemetry = sim.telemetry
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._c_blocks_written = registry.counter("hdfs.blocks_written")
+        self._c_bytes_written = registry.counter("hdfs.bytes_written")
+        self._c_blocks_read = registry.counter("hdfs.blocks_read")
+        self._c_bytes_read = registry.counter("hdfs.bytes_read")
 
     # -- write path -------------------------------------------------------------
 
     def write_file(self, path: str, size: int, writer: Host,
                    job_id: str = "", replication: Optional[int] = None,
-                   component: str = TrafficComponent.HDFS_WRITE.value):
+                   component: str = TrafficComponent.HDFS_WRITE.value,
+                   parent_span=None):
         """Generator process: write ``size`` bytes to ``path`` from ``writer``.
 
         Blocks are written sequentially (as ``DFSOutputStream`` does at
@@ -68,13 +76,23 @@ class DfsClient:
         for block_size in split_into_blocks(size, self.config.block_size):
             location = self.namenode.allocate_block(path, block_size, replication, writer)
             locations.append(location)
-            yield from self._write_pipeline(location, writer, job_id, component)
+            yield from self._write_pipeline(location, writer, job_id, component,
+                                            parent_span=parent_span)
         return locations
 
     def _write_pipeline(self, location: BlockLocation, writer: Host,
-                        job_id: str, component: str):
+                        job_id: str, component: str, parent_span=None):
         """Run one block's replication pipeline; waits for all hops."""
         write_id = next(self._write_ids)
+        self._c_blocks_written.value += 1
+        self._c_bytes_written.value += location.block.size
+        span = parent_span
+        if self._tracer.enabled:
+            span = self._tracer.start(
+                "hdfs_write", f"block[{location.block.block_id}]",
+                self.sim.now, parent=parent_span,
+                size=location.block.size,
+                replicas=len(location.replicas), job_id=job_id)
         chain = [writer] + list(location.replicas)
         # Writer == first replica (the normal case) collapses hop 0 to local I/O.
         if chain[0] == chain[1]:
@@ -98,7 +116,7 @@ class DfsClient:
                         "src_port": ports.ephemeral_port(
                             f"write-{write_id}-{hop_index}-{src.name}"),
                         "dst_port": ports.DATANODE_XFER,
-                    })
+                    }, parent_span=span)
                 waits.append(flow.done)
             if writer in location.replicas:
                 # Replica 1 is written through the local disk.
@@ -107,15 +125,19 @@ class DfsClient:
                 local_io = self.net.start_flow(
                     writer, writer, location.block.size, max_rate=rate,
                     metadata={"component": component, "service": "dfs-write-local",
-                              "job_id": job_id, "block_id": location.block.block_id})
+                              "job_id": job_id, "block_id": location.block.block_id},
+                    parent_span=span)
                 waits.append(local_io.done)
         if waits:
             yield self.sim.all_of(waits)
+        if self._tracer.enabled:
+            self._tracer.end(span, self.sim.now)
 
     # -- read path --------------------------------------------------------------
 
     def read_block(self, block: Block, reader: Host, job_id: str = "",
-                   component: str = TrafficComponent.HDFS_READ.value):
+                   component: str = TrafficComponent.HDFS_READ.value,
+                   parent_span=None):
         """Generator process: read one block to ``reader``.
 
         Returns the serving replica host (useful for locality stats).
@@ -123,6 +145,8 @@ class DfsClient:
         replica = self.namenode.choose_replica_for_read(block, reader)
         datanode = self.datanodes.get(replica)
         max_rate = datanode.disk_read_rate if datanode else None
+        self._c_blocks_read.value += 1
+        self._c_bytes_read.value += block.size
         flow = self.net.start_flow(
             replica, reader, block.size, max_rate=max_rate,
             metadata={
@@ -133,7 +157,7 @@ class DfsClient:
                 "src_port": ports.DATANODE_XFER,
                 "dst_port": ports.ephemeral_port(
                     f"read-{block.block_id}-{reader.name}"),
-            })
+            }, parent_span=parent_span)
         yield flow.done
         return replica
 

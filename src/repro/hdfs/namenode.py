@@ -10,6 +10,7 @@ import numpy as np
 from repro.cluster.topology import Host
 from repro.hdfs.blocks import Block, BlockLocation
 from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
+from repro.obs.telemetry import Telemetry
 
 
 class BlockLostError(RuntimeError):
@@ -27,13 +28,21 @@ class NameNode:
 
     def __init__(self, host: Host, datanodes: Sequence[Host],
                  policy: Optional[PlacementPolicy] = None,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 telemetry: Optional[Telemetry] = None):
         if not datanodes:
             raise ValueError("NameNode needs at least one DataNode")
         self.host = host
         self.datanodes = list(datanodes)
         self.policy = policy or DefaultPlacementPolicy()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        # The NameNode holds no simulator reference, so the cluster
+        # hands it the telemetry facade explicitly.
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        registry = self.telemetry.registry
+        self._c_files_created = registry.counter("hdfs.nn.files_created")
+        self._c_blocks_allocated = registry.counter("hdfs.nn.blocks_allocated")
+        self._c_replica_reads = registry.counter("hdfs.nn.replica_reads")
         self._files: Dict[str, List[Block]] = {}
         self._locations: Dict[int, BlockLocation] = {}
         # Per-namespace block ids: read-path port tags embed the block
@@ -51,6 +60,7 @@ class NameNode:
         if path in self._files:
             raise FileExistsError(f"HDFS path already exists: {path}")
         self._files[path] = []
+        self._c_files_created.value += 1
 
     def delete_file(self, path: str) -> None:
         blocks = self._files.pop(path, None)
@@ -162,6 +172,7 @@ class NameNode:
         location = BlockLocation(block=block, replicas=targets)
         blocks.append(block)
         self._locations[block.block_id] = location
+        self._c_blocks_allocated.value += 1
         return location
 
     def locate(self, block: Block) -> BlockLocation:
@@ -184,6 +195,7 @@ class NameNode:
                     if replica not in self._dead]
         if not replicas:
             raise BlockLostError(f"all replicas of {block!r} are dead")
+        self._c_replica_reads.value += 1
         if reader in replicas:
             return reader
         rack_local = [replica for replica in replicas if replica.rack == reader.rack]

@@ -40,6 +40,7 @@ from repro.mapreduce import counters as ctr
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.result import RoundResult
 from repro.net.network import FlowNetwork
+from repro.obs.trace import NULL_SPAN
 from repro.simkit.core import Interrupt, Signal, Simulator
 from repro.simkit.resources import Store
 from repro.yarn.containers import Container, Resources
@@ -91,7 +92,8 @@ class MRAppMaster(Application):
                  input_paths: List[str], output_path: str,
                  rng: np.random.Generator, round_index: int = 0,
                  client_host: Optional[Host] = None,
-                 node_speed: Optional[Dict[Host, float]] = None):
+                 node_speed: Optional[Dict[Host, float]] = None,
+                 parent_span=None):
         self.sim = sim
         self.net = net
         self.dfs = dfs
@@ -105,6 +107,11 @@ class MRAppMaster(Application):
         self.round_index = round_index
         self.client_host = client_host
         self._node_speed = node_speed or {}
+        self._tracer = sim.telemetry.tracer
+        self._parent_span = parent_span
+        self._round_span = NULL_SPAN
+        self._map_stage_span = NULL_SPAN
+        self._reduce_stage_span = NULL_SPAN
 
         self.app_id = f"{spec.job_id}-r{round_index:02d}"
         self.queue = spec.queue
@@ -218,6 +225,10 @@ class MRAppMaster(Application):
             reduce_task = self._reduce_queue.pop(0)
             reduce_task.state = _RUNNING
             reduce_task.host = container.host
+            if self._reduce_stage_span is NULL_SPAN:
+                self._reduce_stage_span = self._tracer.start(
+                    "stage", f"{self.app_id}.reduce", self.sim.now,
+                    parent=self._round_span, tasks=self.num_reduces)
             self.counters.increment(ctr.TOTAL_LAUNCHED_REDUCES)
             self._launch_rpc(container.host)
             process = self.sim.process(
@@ -237,6 +248,9 @@ class MRAppMaster(Application):
         on fetch failure is out of scope and documented in DESIGN.md.
         """
         self.result.lost_containers += 1
+        self._tracer.event("container-lost", self.sim.now,
+                           parent=self._round_span,
+                           host=container.host.name)
         if container is self._am_container:
             self._fail_round()
             return
@@ -274,6 +288,7 @@ class MRAppMaster(Application):
         if self._am_process is not None and self._am_process.alive:
             self._am_process.interrupt("am container lost")
         self.rm.unregister_application(self.app_id)
+        self._tracer.end(self._round_span, self.sim.now, failed=True)
         self.done.fire(self.result)
 
     def _pick_map(self, host: Host) -> Optional[_MapTask]:
@@ -321,6 +336,9 @@ class MRAppMaster(Application):
 
     def _run_am(self):
         try:
+            self._round_span = self._tracer.start(
+                "round", self.app_id, self.sim.now, parent=self._parent_span,
+                am_host=self.am_host.name)
             yield from self._localize(self.am_host)
             yield self.sim.timeout(constants.AM_STARTUP_S)
             self._register_with_rm()
@@ -328,6 +346,9 @@ class MRAppMaster(Application):
             self._build_reduce_tasks()
             self.result.am_start_time = self.sim.now
             self._map_phase_start = self.sim.now
+            self._map_stage_span = self._tracer.start(
+                "stage", f"{self.app_id}.map", self.sim.now,
+                parent=self._round_span, tasks=len(self._maps))
             self._am_ready = True
             self._running = True
             self.sim.process(self._heartbeat_loop(), name=f"am-hb[{self.app_id}]")
@@ -353,7 +374,8 @@ class MRAppMaster(Application):
         history_writer = self.am_host
         yield from self.dfs.write_file(
             f"/history/{self.app_id}.jhist", constants.HISTORY_BYTES,
-            history_writer, job_id=self.spec.job_id)
+            history_writer, job_id=self.spec.job_id,
+            parent_span=self._round_span)
         self._control_flow(self.am_host, self.rm.host, constants.AM_HEARTBEAT_BYTES,
                            "am-unregister", ports.RM_SCHEDULER)
         self.counters.increment(ctr.HDFS_BYTES_WRITTEN, constants.HISTORY_BYTES)
@@ -362,6 +384,8 @@ class MRAppMaster(Application):
         self.rm.unregister_application(self.app_id)
         self.result.finish_time = self.sim.now
         self.result.counters = self.counters.to_dict()
+        self._tracer.end(self._round_span, self.sim.now,
+                         maps=len(self._maps), reduces=self.num_reduces)
         self.done.fire(self.result)
 
     def _register_with_rm(self) -> None:
@@ -412,24 +436,30 @@ class MRAppMaster(Application):
 
     def _run_map(self, task: _MapTask, container: Container):
         host = container.host
+        span = self._tracer.start(
+            "task", f"map[{task.index}]", self.sim.now,
+            parent=self._map_stage_span, host=host.name,
+            attempt=task.attempts)
         try:
             yield from self._localize(host)
             yield self.sim.timeout(constants.TASK_LAUNCH_S)
             datanode = self.dfs.datanodes.get(host)
 
             if self.profile.is_generator:
-                yield from self._map_generate(task, host)
+                yield from self._map_generate(task, host, span)
             else:
-                yield from self._map_read_and_compute(task, host, datanode)
+                yield from self._map_read_and_compute(task, host, datanode, span)
         except Interrupt:
+            self._tracer.end(span, self.sim.now, interrupted=True)
             return  # killed by node failure; on_container_lost re-queued us
 
         self._control_flow(host, self.am_host, constants.UMBILICAL_BYTES,
                            "task-umbilical", ports.ephemeral_port(f"am-{self.app_id}"))
         self._container_tasks.pop(container.container_id, None)
+        self._tracer.end(span, self.sim.now, output_bytes=task.output_bytes)
         self._on_map_complete(task, host, container)
 
-    def _map_generate(self, task: _MapTask, host: Host):
+    def _map_generate(self, task: _MapTask, host: Host, span=None):
         compute = self._compute_time(task.size, self.profile.map_cpu_rate, host)
         yield self.sim.timeout(compute)
         output = task.size * self.profile.map_selectivity
@@ -438,15 +468,17 @@ class MRAppMaster(Application):
             yield from self.dfs.write_file(
                 f"{self.output_path}/part-m-{task.index:05d}", int(output), host,
                 job_id=self.spec.job_id,
-                replication=self.profile.output_replication or self.config.replication)
+                replication=self.profile.output_replication or self.config.replication,
+                parent_span=span)
             self.result.output_bytes += int(output)
             self.counters.increment(ctr.HDFS_BYTES_WRITTEN, int(output))
 
     def _map_read_and_compute(self, task: _MapTask, host: Host,
-                              datanode: Optional[DataNode]):
+                              datanode: Optional[DataNode], span=None):
         if task.block is not None and task.block.size > 0:
             served = yield from self.dfs.read_block(task.block, host,
-                                                    job_id=self.spec.job_id)
+                                                    job_id=self.spec.job_id,
+                                                    parent_span=span)
             self._count_locality(served, host, task)
             self.counters.increment(ctr.HDFS_BYTES_READ, task.block.size)
         compute = self._compute_time(task.size, self.profile.map_cpu_rate, host)
@@ -459,7 +491,8 @@ class MRAppMaster(Application):
                 yield from self.dfs.write_file(
                     f"{self.output_path}/part-m-{task.index:05d}", int(output), host,
                     job_id=self.spec.job_id,
-                    replication=self.profile.output_replication or self.config.replication)
+                    replication=self.profile.output_replication or self.config.replication,
+                    parent_span=span)
                 self.result.output_bytes += int(output)
                 self.counters.increment(ctr.HDFS_BYTES_WRITTEN, int(output))
         else:
@@ -504,6 +537,7 @@ class MRAppMaster(Application):
                     reduce_task.delivered.append(item)
             if self._completed_maps == len(self._maps):
                 self.result.maps_done_time = self.sim.now
+                self._tracer.end(self._map_stage_span, self.sim.now)
             self._maybe_speculate()
         self.rm.release_container(container)
         self._check_all_done()
@@ -523,12 +557,18 @@ class MRAppMaster(Application):
                     and self.sim.now - task.start_time > 2.0 * mean):
                 task.speculated = True
                 self.result.speculative_attempts += 1
+                self._tracer.event("speculate", self.sim.now,
+                                   parent=self._map_stage_span,
+                                   task=task.index)
                 self._map_queue.append(task)
 
     # -- reduce tasks -----------------------------------------------------------------
 
     def _run_reduce(self, task: _ReduceTask, container: Container):
         host = container.host
+        span = self._tracer.start(
+            "task", f"reduce[{task.index}]", self.sim.now,
+            parent=self._reduce_stage_span, host=host.name)
         try:
             yield from self._localize(host)
             yield self.sim.timeout(constants.TASK_LAUNCH_S)
@@ -536,7 +576,7 @@ class MRAppMaster(Application):
 
             copies = min(self.config.shuffle_parallel_copies, len(self._maps))
             task.fetchers = [
-                self.sim.process(self._fetcher(task, host),
+                self.sim.process(self._fetcher(task, host, span),
                                  name=f"fetch[{self.app_id}/{task.index}/{i}]")
                 for i in range(copies)
             ]
@@ -561,10 +601,12 @@ class MRAppMaster(Application):
                 yield from self.dfs.write_file(
                     output_file, int(output), host,
                     job_id=self.spec.job_id,
-                    replication=self.profile.output_replication or self.config.replication)
+                    replication=self.profile.output_replication or self.config.replication,
+                    parent_span=span)
                 self.result.output_bytes += int(output)
                 self.counters.increment(ctr.HDFS_BYTES_WRITTEN, int(output))
         except Interrupt:
+            self._tracer.end(span, self.sim.now, interrupted=True)
             return  # killed by node failure; on_container_lost re-queued us
         self._control_flow(host, self.am_host, constants.UMBILICAL_BYTES,
                            "task-umbilical", ports.ephemeral_port(f"am-{self.app_id}"))
@@ -575,17 +617,20 @@ class MRAppMaster(Application):
         self.counters.increment(ctr.REDUCE_OUTPUT_BYTES, output)
         self._completed_reduces += 1
         self.result.reduce_durations.append(self.sim.now - started)
+        self._tracer.end(span, self.sim.now, shuffle_bytes=total)
+        if self._completed_reduces == self.num_reduces:
+            self._tracer.end(self._reduce_stage_span, self.sim.now)
         self.rm.release_container(container)
         self._check_all_done()
 
-    def _fetcher(self, task: _ReduceTask, host: Host):
+    def _fetcher(self, task: _ReduceTask, host: Host, span=None):
         """One parallel-copy slot: claims map outputs and fetches them."""
         try:
-            yield from self._fetch_loop(task, host)
+            yield from self._fetch_loop(task, host, span)
         except Interrupt:
             return  # reducer re-executed elsewhere; a fresh store replays
 
-    def _fetch_loop(self, task: _ReduceTask, host: Host):
+    def _fetch_loop(self, task: _ReduceTask, host: Host, span=None):
         while task.claimed < len(self._maps):
             task.claimed += 1
             src_host, size, map_task = yield task.store.get()
@@ -601,6 +646,12 @@ class MRAppMaster(Application):
             self.result.shuffle_bytes += size
             if size < 1:
                 continue
+            fetch_span = NULL_SPAN
+            if self._tracer.enabled:
+                fetch_span = self._tracer.start(
+                    "fetch", f"fetch[{task.index}<-{src_host.name}]",
+                    self.sim.now, parent=span, src=src_host.name,
+                    size=size)
             datanode = self.dfs.datanodes.get(src_host)
             flow = self.net.start_flow(
                 src_host, host, size,
@@ -612,8 +663,9 @@ class MRAppMaster(Application):
                     "src_port": ports.SHUFFLE_HANDLER,
                     "dst_port": ports.ephemeral_port(
                         f"shuffle-{self.app_id}-{task.index}-{src_host.name}"),
-                })
+                }, parent_span=fetch_span)
             yield flow.done
+            self._tracer.end(fetch_span, self.sim.now)
 
     def _recover_map_output(self, map_task: Optional[_MapTask],
                             dead_host: Host):
@@ -646,6 +698,9 @@ class MRAppMaster(Application):
             map_task.size, self.profile.map_cpu_rate, recovery_host))
         self.result.fetch_recoveries += 1
         self._recovered_outputs[map_task.index] = recovery_host
+        self._tracer.event("fetch-recovery", self.sim.now,
+                           parent=self._round_span, task=map_task.index,
+                           host=recovery_host.name)
         return recovery_host
 
     # -- misc --------------------------------------------------------------------------

@@ -28,6 +28,8 @@ from repro.mapreduce import constants
 from repro.mapreduce.driver import JobDriver
 from repro.mapreduce.result import JobResult
 from repro.net.network import FlowNetwork
+from repro.obs.probes import ClusterProbes
+from repro.obs.telemetry import Telemetry
 from repro.simkit import RngRegistry, Simulator
 from repro.yarn.containers import Resources
 from repro.yarn.nodemanager import NodeManager
@@ -41,11 +43,13 @@ class HadoopCluster:
     def __init__(self, spec: Optional[ClusterSpec] = None,
                  config: Optional[HadoopConfig] = None, seed: int = 0,
                  queue_capacities: Optional[Dict[str, float]] = None,
-                 placement_policy: Optional[PlacementPolicy] = None):
+                 placement_policy: Optional[PlacementPolicy] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.spec = spec or ClusterSpec()
         self.config = config or HadoopConfig()
         self.seed = seed
-        self.sim = Simulator()
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.sim = Simulator(telemetry=self.telemetry)
         self.rng = RngRegistry(seed)
 
         # The master is the *last* host so the N workers keep balanced
@@ -66,7 +70,8 @@ class HadoopCluster:
 
         self.namenode = NameNode(self.master, self.workers,
                                  policy=placement_policy,
-                                 rng=self.rng.stream("placement"))
+                                 rng=self.rng.stream("placement"),
+                                 telemetry=self.telemetry)
         self.datanodes: Dict[Host, DataNode] = {
             host: DataNode(self.sim, self.net, host, self.master,
                            self.spec.disk_read_rate, self.spec.disk_write_rate,
@@ -101,11 +106,12 @@ class HadoopCluster:
             self.node_speed = {host: 1.0 for host in self.workers}
         self._drivers: List[JobDriver] = []
         self._started = False
+        self.probes: Optional[ClusterProbes] = None
 
     # -- daemon lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        """Start NodeManager and DataNode heartbeat loops."""
+        """Start NodeManager/DataNode heartbeat loops (and probes)."""
         if self._started:
             return
         self._started = True
@@ -113,14 +119,21 @@ class HadoopCluster:
             node.start_heartbeats()
         for datanode in self.datanodes.values():
             datanode.start_heartbeats()
+        if self.telemetry.enabled and self.telemetry.probe_interval > 0:
+            if self.probes is None:
+                self.probes = ClusterProbes(self, self.telemetry.probe_interval,
+                                            log=self.telemetry.probes)
+            self.probes.start()
 
     def stop(self) -> None:
-        """Stop heartbeats so the event queue can drain."""
+        """Stop heartbeats (and probes) so the event queue can drain."""
         self._started = False
         for node in self.nodemanagers:
             node.stop_heartbeats()
         for datanode in self.datanodes.values():
             datanode.stop_heartbeats()
+        if self.probes is not None:
+            self.probes.stop()
 
     # -- job execution ----------------------------------------------------------------
 

@@ -37,6 +37,7 @@ class JobDriver:
         self.cluster = cluster
         self.spec = spec
         self.client_host = client_host or cluster.master
+        self._tracer = cluster.sim.telemetry.tracer
         self.done: Signal = cluster.sim.signal(name=f"{spec.job_id}.done")
         self.result = JobResult(job_id=spec.job_id, kind=spec.kind,
                                 input_bytes=spec.input_bytes,
@@ -46,6 +47,10 @@ class JobDriver:
 
     def _run(self):
         profile = self.spec.profile
+        sim = self.cluster.sim
+        job_span = self._tracer.start(
+            "job", self.spec.job_id, sim.now,
+            kind_of_job=self.spec.kind, input_bytes=self.spec.input_bytes)
         input_paths = [self.spec.input_path] if not profile.is_generator else []
         yield from self.cluster.stage_job_resources(self.spec, self.client_host)
         for round_index in range(profile.iterations):
@@ -63,6 +68,7 @@ class JobDriver:
                 round_index=round_index,
                 client_host=self.client_host,
                 node_speed=self.cluster.node_speed,
+                parent_span=job_span,
             )
             self.cluster.rm.submit_application(app, client_host=self.client_host)
             round_result = yield app.done
@@ -72,6 +78,9 @@ class JobDriver:
             is_last = round_index == profile.iterations - 1
             if not is_last and not profile.reread_input:
                 input_paths = self._output_files(output_path)
+        self._tracer.end(job_span, sim.now,
+                         rounds=len(self.result.rounds),
+                         failed=any(r.failed for r in self.result.rounds))
         self.done.fire(self.result)
 
     def _round_output(self, round_index: int) -> str:

@@ -23,7 +23,7 @@ class Flow:
 
     __slots__ = ("flow_id", "src", "dst", "size", "metadata", "max_rate", "done",
                  "path", "links", "start_time", "end_time", "rate", "remaining",
-                 "last_update", "local")
+                 "last_update", "local", "span_parent")
 
     def __init__(self, src: Host, dst: Host, size: float, done: Signal,
                  max_rate: Optional[float] = None,
@@ -51,6 +51,8 @@ class Flow:
         self.remaining: float = float(size)
         self.last_update: float = 0.0
         self.local: bool = src == dst
+        # Telemetry: the lifecycle span this flow nests under (if any).
+        self.span_parent = None
 
     @property
     def finished(self) -> bool:

@@ -97,10 +97,23 @@ class FlowNetwork:
         self._batch_dirty = False
         self._last_progress = -1.0
         self._listeners: List[Callable[[Flow], None]] = []
-        # Perf counters (cumulative; see also self._allocator's own).
-        self.updates_requested = 0
-        self.flushes = 0
-        self.flows_batched = 0
+        # Perf counters live on the simulator's telemetry registry
+        # (the old ``net.perf`` attributes survive as properties); the
+        # allocator keeps plain ints and is exposed via callback gauges.
+        self.telemetry = sim.telemetry
+        registry = self.telemetry.registry
+        self._tracer = self.telemetry.tracer
+        self._c_updates = registry.counter("net.updates_requested")
+        self._c_flushes = registry.counter("net.flushes")
+        self._c_batched = registry.counter("net.flows_batched")
+        self._c_flows_started = registry.counter("net.flows_started")
+        self._c_flows_completed = registry.counter("net.flows_completed")
+        self._c_bytes_completed = registry.counter("net.bytes_completed")
+        registry.gauge("net.active_flows", fn=lambda: len(self.active))
+        registry.gauge("net.recomputes",
+                       fn=lambda: self._allocator.recomputes)
+        registry.gauge("net.allocator_seconds",
+                       fn=lambda: self._allocator.allocator_seconds)
 
     # -- observation ---------------------------------------------------------
 
@@ -120,6 +133,19 @@ class FlowNetwork:
             "flows_batched": self.flows_batched,
         }
 
+    @property
+    def updates_requested(self) -> int:
+        """Update requests so far (compatibility view of the registry)."""
+        return int(self._c_updates.value)
+
+    @property
+    def flushes(self) -> int:
+        return int(self._c_flushes.value)
+
+    @property
+    def flows_batched(self) -> int:
+        return int(self._c_batched.value)
+
     def add_listener(self, callback: Callable[[Flow], None]) -> None:
         """Register a callback invoked with every completed flow."""
         self._listeners.append(callback)
@@ -137,15 +163,20 @@ class FlowNetwork:
 
     def start_flow(self, src: Host, dst: Host, size: float,
                    max_rate: Optional[float] = None,
-                   metadata: Optional[Dict[str, Any]] = None) -> Flow:
+                   metadata: Optional[Dict[str, Any]] = None,
+                   parent_span=None) -> Flow:
         """Begin transferring ``size`` bytes from ``src`` to ``dst``.
 
         Returns the :class:`Flow`; its ``done`` signal fires (with the
-        flow as payload) at the fluid completion time.
+        flow as payload) at the fluid completion time.  ``parent_span``
+        attaches the flow's telemetry span (emitted on completion when
+        tracing is enabled) under a lifecycle span.
         """
         done = self.sim.signal(name="flow.done")
         flow = Flow(src, dst, size, done, max_rate=max_rate, metadata=metadata,
                     flow_id=next(self._flow_ids))
+        flow.span_parent = parent_span
+        self._c_flows_started.value += 1
         flow.start_time = self.sim.now
         flow.last_update = self.sim.now
         if flow.local or size == 0:
@@ -200,35 +231,48 @@ class FlowNetwork:
         flow.rate = 0.0
         self.completed_count += 1
         self.total_bytes += flow.size
+        self._note_completed(flow)
         flow.done.fire(flow)
         for listener in self._listeners:
             listener(flow)
+
+    def _note_completed(self, flow: Flow) -> None:
+        self._c_flows_completed.value += 1
+        self._c_bytes_completed.value += flow.size
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "flow", f"flow[{flow.flow_id}]",
+                flow.start_time, self.sim.now,
+                parent=flow.span_parent,
+                src=flow.src.name, dst=flow.dst.name, size=flow.size,
+                component=flow.metadata.get("component", ""),
+                local=flow.local)
 
     # -- fluid dynamics -------------------------------------------------------
 
     def _request_update(self) -> None:
         """The active flow set changed: recompute now, or batch it."""
-        self.updates_requested += 1
+        self._c_updates.value += 1
         if not self.batch_updates:
             self._advance_and_reschedule()
             return
         if self._batch_depth > 0:
             if self._batch_dirty:
-                self.flows_batched += 1
+                self._c_batched.value += 1
             self._batch_dirty = True
             return
         self._schedule_flush()
 
     def _schedule_flush(self) -> None:
         if self._flush_event is not None:
-            self.flows_batched += 1
+            self._c_batched.value += 1
             return
         self._flush_event = self.sim.schedule(
             0.0, self._flush, priority=_FLUSH_PRIORITY)
 
     def _flush(self) -> None:
         self._flush_event = None
-        self.flushes += 1
+        self._c_flushes.value += 1
         self._advance_and_reschedule()
 
     def _complete_due(self) -> None:
@@ -296,6 +340,7 @@ class FlowNetwork:
             flow.end_time = self.sim.now
             self.completed_count += 1
             self.total_bytes += flow.size
+            self._note_completed(flow)
             flow.done.fire(flow)
             for listener in self._listeners:
                 listener(flow)

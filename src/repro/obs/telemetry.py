@@ -1,0 +1,133 @@
+"""The telemetry facade: one object bundling registry, tracer and probes.
+
+Every instrumented component reaches its telemetry the same way — via
+the simulator (``sim.telemetry``) or an explicit constructor argument —
+so there is exactly one switch that decides whether a run is observed:
+
+* **Disabled** (the default): the registry still works — it *is* the
+  home of the engine's perf counters, replacing the old ad-hoc dicts —
+  but the tracer is a no-op returning a shared null span, no sink
+  exists, and no probe events are ever scheduled.  The overhead over
+  the pre-telemetry engine is a handful of attribute reads, bounded in
+  ``benchmarks/bench_telemetry_overhead.py``.
+* **Enabled**: spans flow into the configured sink, and clusters start
+  a :class:`~repro.obs.probes.ClusterProbes` sampler at
+  ``probe_interval`` simulated seconds.
+
+Enabling telemetry never changes simulation results: spans and probes
+only *read* engine state, so capture traces are byte-identical either
+way (pinned by the determinism tests).
+
+:class:`TelemetryConfig` is the picklable recipe used to re-create an
+equivalent telemetry in campaign worker processes; workers send their
+registry snapshots back and the parent merges them
+(:meth:`Telemetry.absorb`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.probes import ProbeLog
+from repro.obs.trace import (
+    NULL_SINK,
+    FileSink,
+    MemorySink,
+    TraceSink,
+    Tracer,
+)
+
+#: Default probe cadence in simulated seconds.
+DEFAULT_PROBE_INTERVAL = 1.0
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Picklable telemetry recipe (what campaign workers receive).
+
+    ``sink`` names a sink kind rather than carrying one: ``"null"``,
+    ``"memory"`` or ``"file:<path>"``.  Workers default to ``"null"`` —
+    span streams stay per-process; only registries travel back.
+    """
+
+    enabled: bool = False
+    probe_interval: float = DEFAULT_PROBE_INTERVAL
+    sink: str = "null"
+
+    def build_sink(self) -> TraceSink:
+        if not self.enabled or self.sink == "null":
+            return NULL_SINK
+        if self.sink == "memory":
+            return MemorySink()
+        if self.sink.startswith("file:"):
+            return FileSink(self.sink[len("file:"):])
+        raise ValueError(f"unknown sink spec {self.sink!r}")
+
+    def build(self) -> "Telemetry":
+        return Telemetry(enabled=self.enabled, sink=self.build_sink(),
+                         probe_interval=self.probe_interval)
+
+
+class Telemetry:
+    """Registry + tracer + probe log behind one enable switch."""
+
+    def __init__(self, enabled: bool = False,
+                 sink: Optional[TraceSink] = None,
+                 probe_interval: float = DEFAULT_PROBE_INTERVAL,
+                 registry: Optional[MetricsRegistry] = None):
+        self.enabled = enabled
+        self.registry = registry if registry is not None else MetricsRegistry()
+        if sink is None:
+            sink = MemorySink() if enabled else NULL_SINK
+        self.sink = sink
+        self.tracer = Tracer(sink=sink, enabled=enabled)
+        self.probe_interval = probe_interval if enabled else 0.0
+        self.probes = ProbeLog()
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """A fresh null-path telemetry (what components get by default)."""
+        return cls(enabled=False)
+
+    @classmethod
+    def enabled_in_memory(cls,
+                          probe_interval: float = DEFAULT_PROBE_INTERVAL,
+                          ) -> "Telemetry":
+        """Telemetry capturing spans in memory (tests, reports)."""
+        return cls(enabled=True, sink=MemorySink(),
+                   probe_interval=probe_interval)
+
+    # -- campaign aggregation ------------------------------------------------------
+
+    def config(self, sink: str = "null") -> TelemetryConfig:
+        """The picklable recipe reproducing this telemetry's settings."""
+        return TelemetryConfig(enabled=self.enabled,
+                               probe_interval=self.probe_interval or
+                               DEFAULT_PROBE_INTERVAL,
+                               sink=sink)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable registry + tracer counters (what workers return)."""
+        return {"metrics": self.registry.snapshot(),
+                "spans_emitted": self.tracer.spans_emitted}
+
+    def absorb(self, snapshot: Optional[Dict[str, Any]]) -> None:
+        """Merge a worker's :meth:`snapshot` into this telemetry."""
+        if not snapshot:
+            return
+        self.registry.merge(snapshot.get("metrics", ()))
+
+    # -- convenience ---------------------------------------------------------------
+
+    @property
+    def spans(self):
+        """Closed spans when the sink keeps them in memory, else []."""
+        return getattr(self.sink, "spans", [])
+
+    def close(self) -> None:
+        """Flush/close the sink (file sinks need this)."""
+        self.sink.close()

@@ -14,6 +14,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs.telemetry import Telemetry
+
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, re-firing, ...)."""
@@ -292,21 +294,41 @@ class Simulator:
     # big enough to matter) the queue is rebuilt without them.
     _COMPACT_MIN_SIZE = 64
 
-    def __init__(self):
+    def __init__(self, telemetry: Optional[Telemetry] = None):
         self._queue: List[Event] = []
         self._now = 0.0
         self._seq = itertools.count()
         self._running = False
         self._pending = 0        # live (not-yet-cancelled) events in the queue
         self._cancelled = 0      # cancelled events still sitting in the queue
-        self.events_fired = 0
-        self.events_cancelled = 0
-        self.heap_compactions = 0
+        # Kernel counters live on the telemetry registry (hot-path
+        # mutation is a plain attribute add on the Counter object); the
+        # old ``events_fired`` attributes survive as properties.
+        self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        registry = self.telemetry.registry
+        self._c_fired = registry.counter("sim.events_fired")
+        self._c_cancelled = registry.counter("sim.events_cancelled")
+        self._c_compactions = registry.counter("sim.heap_compactions")
+        registry.gauge("sim.heap_size", fn=lambda: len(self._queue))
+        registry.gauge("sim.pending", fn=self.pending)
 
     @property
     def now(self) -> float:
         """Current simulation time in seconds."""
         return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Events executed so far (compatibility view of the registry)."""
+        return int(self._c_fired.value)
+
+    @property
+    def events_cancelled(self) -> int:
+        return int(self._c_cancelled.value)
+
+    @property
+    def heap_compactions(self) -> int:
+        return int(self._c_compactions.value)
 
     @property
     def perf(self) -> dict:
@@ -341,7 +363,7 @@ class Simulator:
         """Bookkeeping when a queued event is cancelled (called by Event)."""
         self._pending -= 1
         self._cancelled += 1
-        self.events_cancelled += 1
+        self._c_cancelled.value += 1
         if (self._cancelled > self._COMPACT_MIN_SIZE
                 and self._cancelled * 2 > len(self._queue)):
             self._compact()
@@ -351,7 +373,7 @@ class Simulator:
         self._queue = [event for event in self._queue if not event.cancelled]
         heapq.heapify(self._queue)
         self._cancelled = 0
-        self.heap_compactions += 1
+        self._c_compactions.value += 1
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create a waitable that fires after ``delay`` seconds."""
@@ -422,7 +444,7 @@ class Simulator:
                 continue
             self._pending -= 1
             self._now = event.time
-            self.events_fired += 1
+            self._c_fired.value += 1
             event.callback(*event.args)
             return True
         return False
@@ -436,6 +458,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        fired_counter = self._c_fired
         try:
             while self._queue:
                 event = self._queue[0]
@@ -450,7 +473,7 @@ class Simulator:
                 event.popped = True
                 self._pending -= 1
                 self._now = event.time
-                self.events_fired += 1
+                fired_counter.value += 1
                 event.callback(*event.args)
             if until is not None and self._now < until:
                 self._now = until

@@ -58,6 +58,18 @@ class ResourceManager:
         self.usage: Dict[str, Resources] = {}
         self._submit_counter = itertools.count()
         self._container_node: Dict[int, "NodeManager"] = {}
+        self.telemetry = sim.telemetry
+        registry = self.telemetry.registry
+        self._c_heartbeats = registry.counter("yarn.node_heartbeats")
+        self._c_granted = registry.counter("yarn.containers_granted")
+        self._c_declined = registry.counter("yarn.containers_declined")
+        self._c_released = registry.counter("yarn.containers_released")
+        self._c_lost = registry.counter("yarn.containers_lost")
+        self._c_apps = registry.counter("yarn.apps_submitted")
+        self._c_selections = registry.counter(
+            "yarn.scheduler_selections", policy=scheduler.name)
+        registry.gauge("yarn.registered_nodes", fn=lambda: len(self.nodes))
+        registry.gauge("yarn.active_apps", fn=lambda: len(self.apps))
 
     # -- registration ----------------------------------------------------------
 
@@ -79,6 +91,7 @@ class ResourceManager:
         app.submit_order = next(self._submit_counter)
         self.apps[app.app_id] = app
         self.usage[app.app_id] = Resources.zero()
+        self._c_apps.value += 1
         if client_host is not None and client_host != self.host:
             self.net.start_flow(
                 client_host, self.host, 4096,
@@ -101,6 +114,7 @@ class ResourceManager:
         granted: List[Container] = []
         declined: set = set()
         total = self.cluster_total
+        self._c_heartbeats.value += 1
         while True:
             candidates = [
                 self._usage_view(app) for app in self.apps.values()
@@ -113,6 +127,7 @@ class ResourceManager:
             chosen = self.scheduler.select_app(candidates, total)
             if chosen is None:
                 break
+            self._c_selections.value += 1
             app = self.apps[chosen.app_id]
             container = Container(host=node.host, app_id=app.app_id,
                                   resources=app.container_unit)
@@ -120,8 +135,10 @@ class ResourceManager:
             self._container_node[container.container_id] = node
             self.usage[app.app_id] = self.usage[app.app_id] + container.resources
             if app.on_container_granted(container):
+                self._c_granted.value += 1
                 granted.append(container)
             else:
+                self._c_declined.value += 1
                 node.deallocate(container)
                 del self._container_node[container.container_id]
                 self.usage[app.app_id] = self.usage[app.app_id] - container.resources
@@ -150,6 +167,7 @@ class ResourceManager:
             app = self.apps.get(container.app_id)
             if app is not None:
                 app.on_container_lost(container)
+            self._c_lost.value += 1
         return lost
 
     def release_container(self, container: Container) -> None:
@@ -158,6 +176,7 @@ class ResourceManager:
         if node is None:
             raise KeyError(f"unknown container {container!r}")
         node.deallocate(container)
+        self._c_released.value += 1
         if container.app_id in self.usage:
             self.usage[container.app_id] = (
                 self.usage[container.app_id] - container.resources)

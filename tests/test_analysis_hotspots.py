@@ -71,3 +71,44 @@ def test_cli_validate_and_hotspots(tmp_path, capsys):
     assert main(["report", str(trace_path), "--hotspots"]) == 0
     out = capsys.readouterr().out
     assert "traffic hotspots" in out
+
+
+# -- probe-output-driven cases (telemetry integration) -------------------------------
+
+
+@pytest.fixture(scope="module")
+def probed_capture():
+    from repro.api import run_capture
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.enabled_in_memory(probe_interval=0.5)
+    trace = run_capture("terasort", input_gb=0.25, nodes=4, seed=11,
+                        telemetry=telemetry)
+    return telemetry, trace
+
+
+def test_per_host_traffic_conserves_capture_bytes(probed_capture):
+    _, trace = probed_capture
+    stats = per_host_traffic(trace)
+    assert sum(host["tx_bytes"] for host in stats.values()) == \
+        pytest.approx(trace.total_bytes())
+    assert sum(host["rx_bytes"] for host in stats.values()) == \
+        pytest.approx(trace.total_bytes())
+
+
+def test_hotspot_receivers_match_hdfs_write_counters(probed_capture):
+    telemetry, trace = probed_capture
+    stats = per_host_traffic(trace, component="hdfs_write")
+    written = sum(host["rx_bytes"] for host in stats.values())
+    # Replication fans each block out to several receivers, so the bytes
+    # received as hdfs_write are at least the client-level write volume.
+    assert written > 0
+    assert telemetry.registry.value("hdfs.bytes_written") > 0
+
+
+def test_imbalance_on_real_capture_is_sane(probed_capture):
+    _, trace = probed_capture
+    factor = imbalance_factor(trace, "rx")
+    assert factor >= 1.0
+    table = hotspot_table(trace, top=4)
+    assert 0 < len(table.rows) <= 4

@@ -92,3 +92,55 @@ def test_phase_profile_table_shape():
     # 1 MiB in bin 0 of the read series -> 1 MiB/s.
     read_col = table.headers.index("hdfs_read MiB/s")
     assert table.rows[0][read_col] == pytest.approx(1.0)
+
+
+# -- probe-output-driven cases (telemetry integration) -------------------------------
+
+
+@pytest.fixture(scope="module")
+def probed_capture():
+    from repro.api import run_capture
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry.enabled_in_memory(probe_interval=0.5)
+    trace = run_capture("terasort", input_gb=0.25, nodes=4, seed=11,
+                        telemetry=telemetry)
+    return telemetry, trace
+
+
+def test_series_conserves_bytes_on_real_capture(probed_capture):
+    _, trace = probed_capture
+    series = throughput_series(trace, bin_seconds=1.0)
+    # Per component (the series omits control-plane flows), binning
+    # must conserve every byte the capture recorded.
+    for component, values in series.items():
+        if component == "time":
+            continue
+        expected = sum(flow.size for flow in trace.flows
+                       if flow.component == component)
+        assert values.sum() == pytest.approx(expected), component
+
+
+def test_activity_spans_overlap_probe_activity(probed_capture):
+    telemetry, trace = probed_capture
+    spans = component_activity_spans(trace)
+    assert "shuffle" in spans
+    shuffle_start, shuffle_end = spans["shuffle"]
+    # While the shuffle was active, the probes saw live flows.
+    active = telemetry.probes.series["net.active_flows"]
+    during = [value for t, value in zip(active.times, active.values)
+              if shuffle_start <= t <= shuffle_end]
+    assert during and max(during) > 0
+
+
+def test_probe_throughput_agrees_with_series_activity(probed_capture):
+    telemetry, trace = probed_capture
+    series = throughput_series(trace, bin_seconds=1.0)
+    assert any(values.max() > 0 for values in series.values())
+    throughput = telemetry.probes.series["net.throughput_gbps"]
+    assert throughput.peak > 0
+    # Probe peak happens while the trace still shows traffic.
+    start, end = trace.time_range() if hasattr(trace, "time_range") else (
+        min(flow.start for flow in trace.flows),
+        max(flow.end for flow in trace.flows))
+    assert start - 1.0 <= throughput.peak_time <= end + 1.0

@@ -1,0 +1,114 @@
+"""CLI tests for the telemetry surfaces: --telemetry, trace, report."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_tel")
+    trace_path = root / "t.jsonl"
+    tel_dir = root / "tel"
+    code = main(["capture", "--job", "terasort", "--input-gb", "0.25",
+                 "--nodes", "4", "--seed", "3", "-o", str(trace_path),
+                 "--telemetry", str(tel_dir), "--probe-interval", "0.5"])
+    assert code == 0
+    return trace_path, tel_dir
+
+
+def test_capture_writes_telemetry_artefacts(telemetry_run):
+    _, tel_dir = telemetry_run
+    names = sorted(path.name for path in tel_dir.iterdir())
+    assert names == ["metrics.json", "metrics.prom", "probes.json",
+                     "spans.jsonl"]
+    metrics = json.loads((tel_dir / "metrics.json").read_text())
+    assert any(entry["name"] == "net.flows_completed" for entry in metrics)
+    prom = (tel_dir / "metrics.prom").read_text()
+    assert "# TYPE sim_events_fired counter" in prom
+    probes = json.loads((tel_dir / "probes.json").read_text())
+    assert "net.active_flows" in probes
+
+
+def test_trace_renders_span_tree(telemetry_run, capsys):
+    _, tel_dir = telemetry_run
+    assert main(["trace", str(tel_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "span summary" in out or "spans in" in out
+    assert "job:" in out
+    assert "stage:" in out
+
+
+def test_trace_kind_filter_and_depth(telemetry_run, capsys):
+    _, tel_dir = telemetry_run
+    assert main(["trace", str(tel_dir / "spans.jsonl"),
+                 "--kinds", "job,stage", "--max-depth", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "job:" in out
+    assert "stage:" in out
+    assert "fetch:" not in out
+    assert "task:" not in out
+
+
+def test_trace_summary_only(telemetry_run, capsys):
+    _, tel_dir = telemetry_run
+    assert main(["trace", str(tel_dir), "--summary-only"]) == 0
+    out = capsys.readouterr().out
+    assert "hdfs_write" in out
+    assert "job:" not in out  # no tree lines
+
+
+def test_trace_missing_stream_is_an_error(tmp_path, capsys):
+    assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
+    assert "no span stream" in capsys.readouterr().out
+
+
+def test_report_reads_telemetry_dir(telemetry_run, capsys):
+    trace_path, tel_dir = telemetry_run
+    assert main(["report", str(trace_path),
+                 "--telemetry", str(tel_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry metrics" in out
+    assert "probe series" in out
+    assert "span summary" in out
+    assert "net.flows_completed" in out
+
+
+def _fresh_memo():
+    """Reset the process-global campaign memo (counts are cumulative)."""
+    import repro.experiments.campaigns as campaigns
+
+    campaigns._MEMO = campaigns._LruMemo()
+
+
+def test_campaign_prints_cache_stats(tmp_path, capsys):
+    _fresh_memo()
+    store = tmp_path / "store"
+    argv = ["campaign", "--job", "terasort", "--sizes-gb", "0.125",
+            "--nodes", "4", "--store", str(store)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache stats:" in out
+    assert "store 0 hit(s)" in out
+
+    # Second run resolves from cache and says so.
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "cache stats:" in out
+    assert ("memo 1 hit(s)" in out) or ("store 1 hit(s)" in out)
+
+
+def test_campaign_telemetry_artefacts(tmp_path, capsys):
+    _fresh_memo()
+    tel_dir = tmp_path / "ctel"
+    assert main(["campaign", "--job", "terasort", "--sizes-gb", "0.125",
+                 "--nodes", "4", "--store", str(tmp_path / "s"),
+                 "--telemetry", str(tel_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry" in out
+    metrics = json.loads((tel_dir / "metrics.json").read_text())
+    names = {entry["name"] for entry in metrics}
+    assert "campaign.simulated" in names
+    assert "net.flows_completed" in names
