@@ -17,9 +17,12 @@ else
     echo "== ruff: not installed, skipping lint =="
 fi
 
-# 2. Tier-1 tests (benchmarks/ are excluded by their conftest).
+# 2. Tier-1 tests (benchmarks/ are excluded by their conftest).  The
+#    per-test hang guard (tests/conftest.py) turns a hung test into a
+#    readable failure instead of a stuck gate; override the budget by
+#    exporting KEDDAH_TEST_TIMEOUT yourself.
 echo "== tier-1 pytest =="
-python -m pytest -x -q "$@"
+KEDDAH_TEST_TIMEOUT="${KEDDAH_TEST_TIMEOUT:-120}" python -m pytest -x -q "$@"
 
 # 3. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.

@@ -9,6 +9,9 @@
 #   BENCH_campaign.json  — campaign runner: cold serial vs cold parallel
 #                          vs warm capture store, with hit/miss counters
 #                          (written by benchmarks/bench_campaign.py)
+#   BENCH_campaign_faults.json — crash-injection stress: supervised pool
+#                          vs SIGKILLed workers, recovery overhead and
+#                          byte-identity (benchmarks/bench_campaign_faults.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -37,5 +40,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_telemetry_overhead.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_campaign_faults.py \
     -m benchmark_suite \
     -q -s "$@"

@@ -93,6 +93,28 @@ def build_parser() -> argparse.ArgumentParser:
                                "to $KEDDAH_CAPTURE_STORE)")
     campaign.add_argument("--invalidate", action="store_true",
                           help="clear the store before running")
+    campaign.add_argument("--retries", type=int, default=3,
+                          help="attempt budget per point: transient worker "
+                               "failures (broken pools, killed workers) are "
+                               "retried with deterministic backoff up to this "
+                               "many attempts before quarantine")
+    campaign.add_argument("--deadline", type=float, default=None, metavar="S",
+                          help="per-point wall-clock deadline in seconds; a "
+                               "hung point is killed by the watchdog and "
+                               "retried (then quarantined)")
+    campaign.add_argument("--journal", default=None, metavar="PATH",
+                          help="checkpoint journal written incrementally "
+                               "during the run; pass it back via --resume to "
+                               "skip completed points byte-identically")
+    campaign.add_argument("--resume", default=None, metavar="JOURNAL",
+                          help="resume from a checkpoint journal: completed "
+                               "points are replayed without re-simulation "
+                               "and new completions append to the same file")
+    campaign.add_argument("--quarantine", default=None, metavar="PATH",
+                          help="quarantine sidecar recording failure "
+                               "fingerprints of poisoned points (default: "
+                               "quarantine.jsonl next to the journal, when "
+                               "one is configured)")
     campaign.add_argument("--telemetry", default=None, metavar="DIR",
                           help="enable telemetry and write the aggregated "
                                "registry artefacts into this directory "
@@ -101,8 +123,14 @@ def build_parser() -> argparse.ArgumentParser:
                           help="optional directory for per-point trace files")
 
     store_cmd = sub.add_parser(
-        "store", help="inspect or clear the persistent capture store")
-    store_cmd.add_argument("action", choices=["stats", "clear"])
+        "store", help="inspect, scrub or clear the persistent capture store")
+    store_cmd.add_argument("action",
+                           choices=["stats", "clear", "verify", "repair"],
+                           help="stats: counters; clear: drop everything; "
+                                "verify: scrub for truncated/corrupt/stale/"
+                                "mis-addressed entries (exit 1 if any); "
+                                "repair: scrub and quarantine bad entries "
+                                "into <store>/quarantine/")
     store_cmd.add_argument("--store", default=None,
                            help="store directory (defaults to "
                                 "$KEDDAH_CAPTURE_STORE)")
@@ -287,6 +315,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         default_workers,
         derive_seed,
     )
+    from repro.experiments.supervision import (
+        CheckpointJournal,
+        Quarantine,
+        RetryPolicy,
+    )
 
     try:
         sizes = [float(part) for part in args.sizes_gb.split(",") if part.strip()]
@@ -314,13 +347,27 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                                          campaign)
               for job in args.jobs
               for index, gb in enumerate(sizes)]
+    if args.retries < 1:
+        print(f"--retries must be >= 1, got {args.retries}")
+        return 2
+    journal_path = args.resume or args.journal
+    journal = CheckpointJournal(journal_path) if journal_path else None
+    if args.resume and journal is not None and len(journal):
+        print(f"resuming from {journal_path}: {len(journal)} completed "
+              f"point(s) on record")
+    quarantine_path = args.quarantine
+    if quarantine_path is None and journal_path:
+        quarantine_path = str(Path(journal_path).parent / "quarantine.jsonl")
+    quarantine = Quarantine(quarantine_path)
+    policy = RetryPolicy(max_attempts=args.retries, deadline_s=args.deadline)
     # Route through the campaign cache hierarchy (memo + store), so
     # cache_stats() below reports what this run actually hit.  The
     # previous store is restored on exit (embedders share the global).
     previous_store = get_store()
     set_store(store)
     telemetry = _telemetry_from_args(args)
-    runner = make_runner(workers, telemetry=telemetry)
+    runner = make_runner(workers, telemetry=telemetry, retry_policy=policy,
+                         journal=journal, quarantine=quarantine, strict=False)
     started = time.perf_counter()
     try:
         outcomes = runner.run(points)
@@ -330,7 +377,12 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     table = Table(title=f"campaign: {len(args.jobs)} job(s) x {len(sizes)} "
                         f"size(s), {workers} worker(s)",
                   headers=["job", "input GiB", "seed", "flows", "MiB", "JCT s"])
-    for point, (result, trace) in zip(points, outcomes):
+    for point, outcome in zip(points, outcomes):
+        if outcome is None:
+            table.add_row(point.job, point.input_gb, point.seed,
+                          "-", "-", "quarantined")
+            continue
+        result, trace = outcome
         table.add_row(point.job, point.input_gb, point.seed,
                       trace.flow_count(),
                       round(trace.total_bytes() / MB, 1),
@@ -340,6 +392,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"{elapsed:.2f}s wall; {stats.simulated} simulated "
         f"({stats.parallel_simulated} in parallel), "
         f"{stats.store_hits} store hit(s), {stats.memo_hits} memo hit(s)")
+    if stats.resumed_points or stats.retries or stats.deadline_kills:
+        table.notes.append(
+            f"supervision: {stats.resumed_points} resumed, "
+            f"{stats.retries} retrie(s), {stats.deadline_kills} deadline "
+            f"kill(s), {stats.pool_failures} pool failure(s)")
     if store is not None:
         table.notes.append(f"store {store.root}: {store.stats.to_dict()}")
     print(render_table(table))
@@ -357,8 +414,30 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if telemetry is not None:
         _write_telemetry_dir(telemetry, args.telemetry)
     if args.output:
-        paths = save_traces([trace for _, trace in outcomes], args.output)
+        paths = save_traces([trace for _, trace in
+                             (o for o in outcomes if o is not None)],
+                            args.output)
         print(f"{len(paths)} traces -> {args.output}")
+    if runner.failures:
+        failed = Table(title=f"{len(runner.failures)} point(s) quarantined "
+                             f"(campaign completed with partial results)",
+                       headers=["job", "input GiB", "seed", "attempts",
+                                "class", "fingerprint"])
+        for failure in runner.failures:
+            last = failure.fingerprints[-1] if failure.fingerprints else None
+            failed.add_row(
+                failure.job, failure.input_gb, failure.seed, failure.attempts,
+                last.classification if last else "?",
+                (f"{last.exception_type}: {last.message} "
+                 f"[tb {last.traceback_sha256[:10]}]") if last else "?")
+        if quarantine.path is not None:
+            failed.notes.append(f"fingerprints -> {quarantine.path}")
+        if journal is not None:
+            failed.notes.append(
+                f"re-run with --resume {journal.path} to retry only the "
+                f"quarantined point(s)")
+        print(render_table(failed))
+        return 1
     return 0
 
 
@@ -370,6 +449,29 @@ def cmd_store(args: argparse.Namespace) -> int:
         return 2
     if args.action == "clear":
         print(f"cleared {store.clear()} entries from {store.root}")
+        return 0
+    if args.action in ("verify", "repair"):
+        report = store.verify(repair=(args.action == "repair"))
+        table = Table(title=f"store scrub at {store.root} "
+                            f"({'repair' if report.repaired else 'verify'})",
+                      headers=["metric", "value"])
+        table.add_row("entries scanned", report.scanned)
+        table.add_row("ok", report.ok)
+        table.add_row("corrupt", report.corrupt)
+        table.add_row("stale", report.stale)
+        table.add_row("mis-addressed", report.mismatched)
+        table.add_row("tmp droppings", report.tmp_files)
+        if report.repaired:
+            table.add_row("quarantined", report.quarantined)
+            table.add_row("tmp removed", report.removed_tmp)
+        table.add_row("MiB scanned", round(report.bytes_scanned / MB, 2))
+        for problem in report.problems:
+            table.notes.append(problem)
+        if report.repaired and report.quarantined:
+            table.notes.append(f"bad entries moved to {store.quarantine_dir}")
+        print(render_table(table))
+        if not report.clean and not report.repaired:
+            return 1
         return 0
     table = Table(title=f"capture store at {store.root}",
                   headers=["metric", "value"])

@@ -32,11 +32,22 @@ from repro.experiments.campaigns import (
     set_store,
 )
 from repro.experiments.runner import CampaignRunner, CapturePoint, derive_seed
-from repro.experiments.store import CaptureStore
+from repro.experiments.store import CaptureStore, ScrubReport
+from repro.experiments.supervision import (
+    CampaignPointsFailed,
+    CheckpointJournal,
+    FailureFingerprint,
+    PointFailure,
+    Quarantine,
+    RetryPolicy,
+    classify_failure,
+)
 from repro.experiments import figures
 from repro.experiments.report import generate_report, write_report
 
-__all__ = ["CampaignConfig", "CampaignRunner", "CaptureStore", "CapturePoint",
-           "cache_stats", "capture", "capture_campaign", "clear_cache",
-           "derive_seed", "figures", "generate_report", "get_store",
-           "set_store", "write_report"]
+__all__ = ["CampaignConfig", "CampaignPointsFailed", "CampaignRunner",
+           "CaptureStore", "CapturePoint", "CheckpointJournal",
+           "FailureFingerprint", "PointFailure", "Quarantine", "RetryPolicy",
+           "ScrubReport", "cache_stats", "capture", "capture_campaign",
+           "classify_failure", "clear_cache", "derive_seed", "figures",
+           "generate_report", "get_store", "set_store", "write_report"]

@@ -179,13 +179,19 @@ def clear_cache() -> None:
     _MEMO.clear()
 
 
-def make_runner(workers: int = 1, telemetry=None):
-    """A CampaignRunner wired to the process memo and active store."""
+def make_runner(workers: int = 1, telemetry=None, **supervision):
+    """A CampaignRunner wired to the process memo and active store.
+
+    ``supervision`` passes through the runner's fault-tolerance knobs
+    (``retry_policy``, ``quarantine``, ``journal``, ``strict``,
+    ``pool_failure_limit`` — see
+    :class:`repro.experiments.runner.CampaignRunner`).
+    """
     from repro.experiments.runner import CampaignRunner
 
     return CampaignRunner(store=get_store(), workers=workers,
                           memo_get=_MEMO.get, memo_put=_MEMO.put,
-                          telemetry=telemetry)
+                          telemetry=telemetry, **supervision)
 
 
 # -- capture entry points ------------------------------------------------------------

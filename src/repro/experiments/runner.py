@@ -3,13 +3,15 @@
 A campaign is a list of :class:`CapturePoint` — fully described,
 mutually independent simulations (job kind, input size, derived seed,
 cluster + Hadoop configuration, job kwargs).  The
-:class:`CampaignRunner` resolves each point through a three-level
+:class:`CampaignRunner` resolves each point through a four-level
 hierarchy:
 
-1. the process-local memo (:mod:`repro.experiments.campaigns`),
-2. the persistent content-addressed store
+1. the checkpoint journal of a resumed run
+   (:class:`repro.experiments.supervision.CheckpointJournal`),
+2. the process-local memo (:mod:`repro.experiments.campaigns`),
+3. the persistent content-addressed store
    (:class:`repro.experiments.store.CaptureStore`), and
-3. actual simulation — serial in-process, or fanned out across
+4. actual simulation — serial in-process, or fanned out across
    ``workers`` processes with a ``spawn`` context.
 
 Determinism is the contract that makes the fan-out safe: every point
@@ -19,6 +21,22 @@ carries its own derived seed and builds a fresh
 it or in what order.  Parallel campaign output is flow-for-flow
 identical to serial output, and both are byte-identical once written
 as JSONL.
+
+Supervision
+-----------
+Simulation is executed under the supervision layer
+(:mod:`repro.experiments.supervision`): transient worker failures
+(broken pools, SIGKILLed workers, pickling errors) are retried with
+deterministic exponential backoff; a per-point wall-clock deadline is
+enforced by a watchdog that kills hung workers; points that exhaust
+their attempt budget — or fail deterministically — are quarantined
+with failure fingerprints and the campaign *completes*, returning a
+partial result set.  After ``pool_failure_limit`` consecutive pool
+collapses the runner degrades gracefully from parallel to serial
+in-process execution.  Every mechanism is counted on the telemetry
+registry (``campaign.retries``, ``campaign.deadline_kills``,
+``campaign.quarantined``, ``campaign.resumed_points``,
+``campaign.pool_failures``, ``campaign.degraded_serial``).
 
 Seed derivation
 ---------------
@@ -32,7 +50,9 @@ single documented rule, used by both.
 from __future__ import annotations
 
 import os
+import time as _time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from multiprocessing import get_context
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -46,7 +66,18 @@ from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.experiments.store import (
     TRACE_FORMAT_VERSION,
     CaptureStore,
+    encode_entry,
     key_hash,
+)
+from repro.experiments.supervision import (
+    CampaignPointsFailed,
+    CheckpointJournal,
+    DeadlineExpired,
+    FailureFingerprint,
+    PointFailure,
+    Quarantine,
+    RetryPolicy,
+    classify_failure,
 )
 
 
@@ -170,7 +201,9 @@ def _simulate_point_observed(
 
 #: The per-level counters a runner keeps, in presentation order.
 _RUNNER_STAT_FIELDS = ("points", "memo_hits", "store_hits", "simulated",
-                       "parallel_simulated")
+                       "parallel_simulated", "resumed_points", "retries",
+                       "deadline_kills", "quarantined", "pool_failures",
+                       "degraded_serial")
 
 
 @dataclass
@@ -187,31 +220,87 @@ class RunnerStats:
     store_hits: int = 0
     simulated: int = 0
     parallel_simulated: int = 0
+    resumed_points: int = 0
+    retries: int = 0
+    deadline_kills: int = 0
+    quarantined: int = 0
+    pool_failures: int = 0
+    degraded_serial: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        return {"points": self.points, "memo_hits": self.memo_hits,
-                "store_hits": self.store_hits, "simulated": self.simulated,
-                "parallel_simulated": self.parallel_simulated}
+        return {name: getattr(self, name) for name in _RUNNER_STAT_FIELDS}
+
+
+@dataclass
+class _Supervised:
+    """Mutable per-point supervision state while a campaign resolves."""
+
+    point: CapturePoint
+    attempts: int = 0
+    fingerprints: List[FailureFingerprint] = field(default_factory=list)
+
+    def failure(self, key: str) -> PointFailure:
+        return PointFailure(key=key, job=self.point.job,
+                            input_gb=self.point.input_gb,
+                            seed=self.point.seed, attempts=self.attempts,
+                            fingerprints=list(self.fingerprints))
+
+
+#: How the watchdog polls in-flight futures when a deadline is set
+#: (seconds).  Coarse enough to be free, fine enough that a kill lands
+#: within a small fraction of any realistic deadline.
+_WATCHDOG_TICK = 0.05
 
 
 class CampaignRunner:
-    """Resolve capture points through memo → store → (parallel) simulation.
+    """Resolve capture points through journal → memo → store → simulation.
 
     ``workers <= 1`` simulates in-process; ``workers > 1`` uses a
     ``spawn``-context :class:`ProcessPoolExecutor` so workers import the
     package fresh (fork-safety of the simulator's global state is never
     relied on).  ``memo_get``/``memo_put`` plug in the process-local
     memo without creating an import cycle with ``campaigns``.
+
+    Supervision knobs:
+
+    ``retry_policy``
+        attempt budget, backoff and per-point deadline
+        (:class:`~repro.experiments.supervision.RetryPolicy`).  Deadline
+        enforcement needs process isolation, so a configured deadline
+        routes even ``workers == 1`` runs through a one-worker pool.
+    ``quarantine``
+        optional sidecar recording points that exhausted their budget.
+    ``journal``
+        optional checkpoint journal; completed points are appended
+        incrementally and replayed byte-identically on resume.
+    ``strict``
+        when True (default), :meth:`run` raises
+        :class:`~repro.experiments.supervision.CampaignPointsFailed`
+        *after* resolving everything else; when False it returns the
+        partial result list with ``None`` at quarantined indices.
+    ``pool_failure_limit``
+        consecutive pool collapses tolerated before degrading the rest
+        of the campaign to serial in-process execution.
     """
 
     def __init__(self, store: Optional[CaptureStore] = None, workers: int = 1,
                  memo_get=None, memo_put=None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 quarantine: Optional[Quarantine] = None,
+                 journal: Optional[CheckpointJournal] = None,
+                 strict: bool = True, pool_failure_limit: int = 3):
         self.store = store
         self.workers = max(1, int(workers))
         self._memo_get = memo_get or (lambda key: None)
         self._memo_put = memo_put or (lambda key, value: None)
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        self.quarantine = quarantine
+        self.journal = journal
+        self.strict = strict
+        self.pool_failure_limit = max(1, int(pool_failure_limit))
+        self.failures: List[PointFailure] = []
         registry = self.telemetry.registry
         self._counters = {name: registry.counter(f"campaign.{name}")
                           for name in _RUNNER_STAT_FIELDS}
@@ -237,11 +326,14 @@ class CampaignRunner:
         """Resolve every point, preserving input order.
 
         Duplicate points (same key) are simulated at most once per
-        call; later occurrences reuse the first resolution.
+        call; later occurrences reuse the first resolution.  Points
+        that fail past their attempt budget are quarantined; see
+        ``strict`` for how they surface.
         """
         results: List[Optional[Tuple[JobResult, JobTrace]]] = [None] * len(points)
         pending: Dict[str, List[int]] = {}
         pending_points: Dict[str, CapturePoint] = {}
+        self.failures = []
         self._count("points", len(points))
 
         for index, point in enumerate(points):
@@ -249,9 +341,17 @@ class CampaignRunner:
             if key in pending:
                 pending[key].append(index)
                 continue
+            if self.journal is not None:
+                replayed = self.journal.lookup(key)
+                if replayed is not None:
+                    self._count("resumed_points")
+                    self._memo_put(key, replayed)
+                    results[index] = replayed
+                    continue
             hit = self._memo_get(key)
             if hit is not None:
                 self._count("memo_hits")
+                self._checkpoint(point, key, hit)
                 results[index] = hit
                 continue
             if self.store is not None:
@@ -259,53 +359,250 @@ class CampaignRunner:
                 if stored is not None:
                     self._count("store_hits")
                     self._memo_put(key, stored)
+                    self._checkpoint(point, key, stored)
                     results[index] = stored
                     continue
             pending[key] = [index]
             pending_points[key] = point
 
         if pending:
-            simulated = self._simulate_all(list(pending_points.items()))
+            simulated, failures = self._simulate_all(
+                list(pending_points.items()))
             for key, value in simulated.items():
                 point = pending_points[key]
                 if self.store is not None:
                     self.store.put(point.key_dict(), *value)
                 self._memo_put(key, value)
+                self._checkpoint(point, key, value)
                 for index in pending[key]:
                     results[index] = value
+            for failure in failures:
+                self._count("quarantined")
+                self.failures.append(failure)
+                if self.quarantine is not None:
+                    self.quarantine.record(failure)
+                if self.journal is not None:
+                    self.journal.record_failure(failure)
+        if self.failures and self.strict:
+            raise CampaignPointsFailed(list(self.failures), results)
         return results  # type: ignore[return-value]
+
+    def manifest(self) -> Dict[str, Any]:
+        """Explicit partial-result manifest of the last :meth:`run`."""
+        return {"stats": self.stats.to_dict(),
+                "quarantined": [failure.to_dict()
+                                for failure in self.failures]}
+
+    def _checkpoint(self, point: CapturePoint, key: str,
+                    value: Tuple[JobResult, JobTrace]) -> None:
+        """Append a resolved point to the journal (idempotent per key)."""
+        if self.journal is None:
+            return
+        self.journal.record_completed(key, point.job, point.input_gb,
+                                      point.seed,
+                                      encode_entry(point.key_dict(), *value))
 
     # -- simulation back-ends -----------------------------------------------------
 
     def _simulate_all(self, items: List[Tuple[str, CapturePoint]],
-                      ) -> Dict[str, Tuple[JobResult, JobTrace]]:
-        if self.workers == 1 or len(items) == 1:
+                      ) -> Tuple[Dict[str, Tuple[JobResult, JobTrace]],
+                                 List[PointFailure]]:
+        self._count("simulated", len(items))
+        # Deadline enforcement needs a killable process, so a deadline
+        # promotes even single-worker runs onto the pool path.
+        use_pool = len(items) > 1 and self.workers > 1
+        if self.retry_policy.deadline_s is not None:
+            use_pool = True
+        if not use_pool:
             # In-process: points run directly against the runner's
             # telemetry, so counters/spans/probes accumulate in place.
-            self._count("simulated", len(items))
-            return {key: point.simulate(telemetry=self.telemetry)
-                    for key, point in items}
-        self._count("simulated", len(items))
+            return self._run_serial(items)
         self._count("parallel_simulated", len(items))
-        out: Dict[str, Tuple[JobResult, JobTrace]] = {}
-        max_workers = min(self.workers, len(items))
+        return self._run_pool(items)
+
+    # -- serial (in-process) path ---------------------------------------------------
+
+    def _run_serial(self, items: List[Tuple[str, CapturePoint]],
+                    ) -> Tuple[Dict[str, Tuple[JobResult, JobTrace]],
+                               List[PointFailure]]:
+        policy = self.retry_policy
+        resolved: Dict[str, Tuple[JobResult, JobTrace]] = {}
+        failures: List[PointFailure] = []
+        for key, point in items:
+            state = _Supervised(point)
+            while True:
+                try:
+                    resolved[key] = point.simulate(telemetry=self.telemetry)
+                    break
+                except Exception as exc:
+                    state.attempts += 1
+                    state.fingerprints.append(
+                        FailureFingerprint.from_exception(exc))
+                    if not policy.should_retry(classify_failure(exc),
+                                               state.attempts):
+                        failures.append(state.failure(key))
+                        break
+                    self._count("retries")
+                    _time.sleep(policy.delay(key, state.attempts))
+        return resolved, failures
+
+    # -- pool (process-isolated) path ------------------------------------------------
+
+    def _new_pool(self, size: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=size,
+                                   mp_context=get_context("spawn"))
+
+    @staticmethod
+    def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+        """Kill every worker process (breaks the pool on purpose)."""
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+
+    def _run_pool(self, items: List[Tuple[str, CapturePoint]],
+                  ) -> Tuple[Dict[str, Tuple[JobResult, JobTrace]],
+                             List[PointFailure]]:
+        policy = self.retry_policy
+        order = [key for key, _ in items]
+        state = {key: _Supervised(point) for key, point in items}
+        resolved: Dict[str, Tuple[JobResult, JobTrace]] = {}
+        failures: List[PointFailure] = []
+        unresolved = set(state)
+        ready_at = {key: 0.0 for key in unresolved}
+        consecutive_breaks = 0
         # Workers re-create telemetry from the picklable config (null
         # span sink — span streams stay per-process) and return their
         # registry snapshots, which the parent merges in.
         worker_config = self.telemetry.config()
-        with ProcessPoolExecutor(max_workers=max_workers,
-                                 mp_context=get_context("spawn")) as pool:
-            futures = {pool.submit(_simulate_point_observed, point,
-                                   worker_config): key
-                       for key, point in items}
-            remaining = set(futures)
-            while remaining:
-                done, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in done:
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            while unresolved:
+                if consecutive_breaks >= self.pool_failure_limit:
+                    # Graceful degradation: the pool keeps collapsing,
+                    # so finish the campaign serially in-process (no
+                    # deadline — there is nothing left to kill safely).
+                    self._count("degraded_serial", len(unresolved))
+                    serial_items = [(key, state[key].point)
+                                    for key in order if key in unresolved]
+                    more, more_failures = self._run_serial(serial_items)
+                    resolved.update(more)
+                    failures.extend(more_failures)
+                    return resolved, failures
+                now = _time.monotonic()
+                wake = min(ready_at[key] for key in unresolved)
+                if wake > now:
+                    _time.sleep(wake - now)
+                if pool is None:
+                    pool = self._new_pool(min(self.workers, len(unresolved)))
+                round_keys = [key for key in order
+                              if key in unresolved
+                              and ready_at[key] <= _time.monotonic()]
+                broke = self._run_round(pool, round_keys, state, resolved,
+                                        unresolved, failures, ready_at,
+                                        worker_config)
+                if broke == "organic":
+                    self._count("pool_failures")
+                    consecutive_breaks += 1
+                elif broke == "deadline":
+                    consecutive_breaks = 0
+                else:
+                    consecutive_breaks = 0
+                if broke:
+                    pool.shutdown(wait=False)
+                    pool = None
+        finally:
+            if pool is not None:
+                pool.shutdown(wait=False)
+        return resolved, failures
+
+    def _run_round(self, pool: ProcessPoolExecutor, round_keys: List[str],
+                   state: Dict[str, _Supervised],
+                   resolved: Dict[str, Tuple[JobResult, JobTrace]],
+                   unresolved: set, failures: List[PointFailure],
+                   ready_at: Dict[str, float],
+                   worker_config: TelemetryConfig) -> str:
+        """Submit one batch and supervise it to quiescence.
+
+        Returns ``""`` when the pool survived, ``"deadline"`` when the
+        watchdog killed it deliberately, ``"organic"`` when a worker
+        died underneath us (SIGKILL, OOM, crash).
+        """
+        policy = self.retry_policy
+        futures = {pool.submit(_simulate_point_observed, state[key].point,
+                               worker_config): key
+                   for key in round_keys}
+        started = {key: _time.monotonic() for key in round_keys}
+        expired: set = set()
+        deliberate_kill = False
+        saw_break = False
+        remaining = set(futures)
+        while remaining:
+            timeout = _WATCHDOG_TICK if (policy.deadline_s is not None
+                                         and not saw_break) else None
+            done, remaining = wait(remaining, timeout=timeout,
+                                   return_when=FIRST_COMPLETED)
+            for future in done:
+                key = futures[future]
+                try:
                     value, snapshot = future.result()
-                    self.telemetry.absorb(snapshot)
-                    out[futures[future]] = value
-        return out
+                except BrokenExecutor:
+                    # The pool collapsed under this future.  Either we
+                    # killed it (deadline watchdog) or a worker died.
+                    # (A point's own OSError arrives as a plain
+                    # exception below — only BrokenExecutor means the
+                    # executor itself is gone.)
+                    saw_break = True
+                    if key in expired:
+                        self._point_failed(key, state[key],
+                                           DeadlineExpired(
+                                               f"point exceeded deadline of "
+                                               f"{policy.deadline_s}s"),
+                                           unresolved, failures, ready_at)
+                    # Collateral victims are rescheduled free of charge:
+                    # their failure tells us nothing about the point.
+                    continue
+                except Exception as exc:
+                    # The *point* failed inside a healthy worker.
+                    self._point_failed(key, state[key], exc, unresolved,
+                                       failures, ready_at)
+                    continue
+                self.telemetry.absorb(snapshot)
+                resolved[key] = value
+                unresolved.discard(key)
+            if saw_break:
+                # A broken pool fails all outstanding futures promptly;
+                # drop the timeout and drain them.
+                continue
+            if policy.deadline_s is not None:
+                now = _time.monotonic()
+                overdue = [key for future, key in futures.items()
+                           if not future.done()
+                           and now - started[key] > policy.deadline_s]
+                if overdue:
+                    expired.update(overdue)
+                    self._count("deadline_kills", len(overdue))
+                    deliberate_kill = True
+                    self._terminate_pool(pool)
+        if saw_break:
+            return "deadline" if deliberate_kill else "organic"
+        return ""
+
+    def _point_failed(self, key: str, state: _Supervised, exc: BaseException,
+                      unresolved: set, failures: List[PointFailure],
+                      ready_at: Dict[str, float]) -> None:
+        """Charge one failed attempt; schedule a retry or quarantine."""
+        policy = self.retry_policy
+        state.attempts += 1
+        state.fingerprints.append(FailureFingerprint.from_exception(exc))
+        if policy.should_retry(classify_failure(exc), state.attempts):
+            self._count("retries")
+            ready_at[key] = _time.monotonic() + policy.delay(key,
+                                                             state.attempts)
+        else:
+            failures.append(state.failure(key))
+            unresolved.discard(key)
 
 
 def default_workers() -> int:

@@ -44,7 +44,7 @@ import os
 import tempfile
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
 from repro.mapreduce.result import JobResult
@@ -68,6 +68,50 @@ def canonical_json(data: Any) -> str:
 def key_hash(key: Dict[str, Any]) -> str:
     """SHA-256 address of a canonical key dict."""
     return hashlib.sha256(canonical_json(key).encode("utf-8")).hexdigest()
+
+
+def encode_entry(key: Dict[str, Any], result: JobResult,
+                 trace: JobTrace) -> str:
+    """The on-disk entry payload: store header + verbatim trace JSONL.
+
+    Shared by the persistent store and the checkpoint journal
+    (:mod:`repro.experiments.supervision`), so both replay completed
+    captures byte-identically.
+    """
+    header = {"store": {"format": TRACE_FORMAT_VERSION, "key": key},
+              "result": result.to_dict()}
+    lines = [json.dumps(header),
+             json.dumps({"meta": trace.meta.to_dict()})]
+    lines.extend(json.dumps(flow.to_dict()) for flow in trace.flows)
+    return "\n".join(lines) + "\n"
+
+
+def decode_entry(text: str) -> Tuple[JobResult, JobTrace]:
+    """Inverse of :func:`encode_entry`.
+
+    Raises :class:`_StaleEntry` for entries written under another
+    format version and arbitrary parse errors for corrupt payloads —
+    callers treat both as misses.
+    """
+    lines = text.splitlines()
+    header = json.loads(lines[0])
+    store_info = header["store"]
+    if store_info["format"] != TRACE_FORMAT_VERSION:
+        raise _StaleEntry(store_info["format"])
+    result = JobResult.from_dict(header["result"])
+    meta_line = json.loads(lines[1])
+    meta = CaptureMeta.from_dict(meta_line["meta"])
+    flows = [FlowRecord.from_dict(json.loads(line))
+             for line in lines[2:] if line.strip()]
+    trace = JobTrace(meta=meta, flows=flows)
+    if trace.meta.job_id != result.job_id:
+        raise ValueError("entry result/trace job ids disagree")
+    return result, trace
+
+
+def entry_key(text: str) -> Dict[str, Any]:
+    """The canonical key embedded in an entry payload's header."""
+    return json.loads(text.splitlines()[0])["store"]["key"]
 
 
 #: The counter fields a store keeps, in presentation order.
@@ -160,20 +204,7 @@ class CaptureStore:
 
     @staticmethod
     def _decode(text: str) -> Tuple[JobResult, JobTrace]:
-        lines = text.splitlines()
-        header = json.loads(lines[0])
-        store_info = header["store"]
-        if store_info["format"] != TRACE_FORMAT_VERSION:
-            raise _StaleEntry(store_info["format"])
-        result = JobResult.from_dict(header["result"])
-        meta_line = json.loads(lines[1])
-        meta = CaptureMeta.from_dict(meta_line["meta"])
-        flows = [FlowRecord.from_dict(json.loads(line))
-                 for line in lines[2:] if line.strip()]
-        trace = JobTrace(meta=meta, flows=flows)
-        if trace.meta.job_id != result.job_id:
-            raise ValueError("entry result/trace job ids disagree")
-        return result, trace
+        return decode_entry(text)
 
     # -- write -------------------------------------------------------------------
 
@@ -183,12 +214,7 @@ class CaptureStore:
         digest = key_hash(key)
         path = self.entry_path(digest)
         path.parent.mkdir(parents=True, exist_ok=True)
-        header = {"store": {"format": TRACE_FORMAT_VERSION, "key": key},
-                  "result": result.to_dict()}
-        lines = [json.dumps(header),
-                 json.dumps({"meta": trace.meta.to_dict()})]
-        lines.extend(json.dumps(flow.to_dict()) for flow in trace.flows)
-        payload = "\n".join(lines) + "\n"
+        payload = encode_entry(key, result, trace)
         # tmp in the same directory so os.replace stays a same-fs rename.
         fd, tmp_name = tempfile.mkstemp(dir=path.parent,
                                         prefix=f".{digest[:12]}.",
@@ -231,6 +257,108 @@ class CaptureStore:
             except OSError:
                 pass
         return total
+
+    # -- scrub (verify / repair) ---------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _tmp_droppings(self) -> Iterator[Path]:
+        """Leftover ``.tmp`` files from writers that died mid-publish."""
+        if not self.objects_dir.is_dir():
+            return iter(())
+        return self.objects_dir.glob("*/.*.tmp")
+
+    def verify(self, repair: bool = False) -> "ScrubReport":
+        """Scrub every entry; optionally quarantine the bad ones.
+
+        Each entry is fully decoded and its embedded canonical key is
+        re-hashed and compared against the file name, so truncation,
+        corruption, stale format versions and mis-addressed (renamed /
+        foreign) entries are all caught — instead of every future
+        ``get`` silently treating them as misses and re-simulating.
+
+        With ``repair=True`` bad entries move (atomically) into
+        ``<root>/quarantine/`` for post-mortems and orphaned ``.tmp``
+        droppings are deleted; the store is left clean.  Counted
+        through the registry as ``store.scrub.*``.
+        """
+        report = ScrubReport(repaired=repair)
+
+        def scrub(name: str) -> None:
+            self.registry.counter(f"store.scrub.{name}").inc()
+
+        for path in sorted(self._entries()):
+            report.scanned += 1
+            scrub("scanned")
+            problem = None
+            try:
+                text = path.read_text(encoding="utf-8")
+                report.bytes_scanned += len(text)
+                decode_entry(text)
+                if key_hash(entry_key(text)) != path.stem:
+                    problem = "mismatched"
+            except _StaleEntry:
+                problem = "stale"
+            except Exception:
+                problem = "corrupt"
+            if problem is None:
+                report.ok += 1
+                scrub("ok")
+                continue
+            setattr(report, problem, getattr(report, problem) + 1)
+            scrub(problem)
+            report.problems.append(f"{problem}: {path.name}")
+            if repair:
+                self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+                try:
+                    os.replace(path, self.quarantine_dir / path.name)
+                    report.quarantined += 1
+                    scrub("quarantined")
+                except OSError:
+                    pass
+        for tmp in sorted(self._tmp_droppings()):
+            report.tmp_files += 1
+            scrub("tmp")
+            report.problems.append(f"tmp: {tmp.name}")
+            if repair:
+                try:
+                    tmp.unlink()
+                    report.removed_tmp += 1
+                except OSError:
+                    pass
+        return report
+
+
+@dataclass
+class ScrubReport:
+    """What one :meth:`CaptureStore.verify` pass found (and fixed)."""
+
+    repaired: bool = False
+    scanned: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    stale: int = 0
+    mismatched: int = 0
+    tmp_files: int = 0
+    quarantined: int = 0
+    removed_tmp: int = 0
+    bytes_scanned: int = 0
+    problems: List[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"repaired": self.repaired, "scanned": self.scanned,
+                "ok": self.ok, "corrupt": self.corrupt, "stale": self.stale,
+                "mismatched": self.mismatched, "tmp_files": self.tmp_files,
+                "quarantined": self.quarantined,
+                "removed_tmp": self.removed_tmp,
+                "bytes_scanned": self.bytes_scanned,
+                "problems": list(self.problems)}
 
 
 class _StaleEntry(Exception):

@@ -58,13 +58,20 @@ class FaultEvent:
 
 @dataclass
 class FaultReport:
-    """What the injector did and what recovery it triggered."""
+    """What the injector did and what recovery it triggered.
+
+    ``injected`` lists only the events that actually took a daemon
+    down; events whose every target daemon was already claimed by an
+    earlier event on the same host count in ``duplicates_ignored``
+    instead.
+    """
 
     injected: List[FaultEvent] = field(default_factory=list)
     blocks_rereplicated: int = 0
     rereplication_bytes: float = 0.0
     containers_lost: int = 0
     unrecoverable_blocks: int = 0
+    duplicates_ignored: int = 0
 
 
 class FaultInjector:
@@ -85,6 +92,12 @@ class FaultInjector:
         self.cluster = cluster
         self.plan = sorted(plan, key=lambda event: event.time)
         self.report = FaultReport()
+        # Each (host, daemon) pair dies at most once.  Overlapping plan
+        # entries — duplicate events, a DATANODE kill racing a NODE
+        # crash, a crash landing mid-decommission — would otherwise
+        # re-prune replica sets and schedule a second round of
+        # re-replication for blocks the first round already restored.
+        self._claimed: set = set()
         self._streams = Resource(cluster.sim, max_replication_streams,
                                  name="re-replication-streams")
         by_name = {host.name: host for host in cluster.workers}
@@ -95,17 +108,42 @@ class FaultInjector:
 
     # -- injection ---------------------------------------------------------------
 
+    def _claim(self, host_name: str, daemon: str) -> bool:
+        """Claim (host, daemon) for one event; False if already down."""
+        key = (host_name, daemon)
+        if key in self._claimed:
+            return False
+        self._claimed.add(key)
+        return True
+
     def _inject(self, event: FaultEvent) -> None:
         host = next(h for h in self.cluster.workers if h.name == event.host_name)
-        self.report.injected.append(event)
+        applied = False
         if event.kind == DECOMMISSION:
-            self.cluster.sim.process(self._decommission(host),
-                                     name=f"decommission[{host.name}]")
-            return
-        if event.kind in (DATANODE, NODE):
-            self._kill_datanode(host)
-        if event.kind in (NODEMANAGER, NODE):
-            self._kill_nodemanager(host)
+            if self._claim(host.name, DATANODE):
+                applied = True
+                self.cluster.sim.process(self._decommission(host),
+                                         name=f"decommission[{host.name}]")
+        else:
+            if event.kind in (DATANODE, NODE) and self._claim(host.name, DATANODE):
+                applied = True
+                self._kill_datanode(host)
+            if event.kind in (NODEMANAGER, NODE) and self._claim(host.name,
+                                                                 NODEMANAGER):
+                applied = True
+                self._kill_nodemanager(host)
+        if applied:
+            self.report.injected.append(event)
+        else:
+            self.report.duplicates_ignored += 1
+
+    def _lost(self, location, dying) -> bool:
+        """True when no live replica outlives ``dying`` — actual data
+        loss, as opposed to a full cluster merely having no spare
+        target to copy to (the block survives on its other replicas)."""
+        namenode = self.cluster.namenode
+        return not any(replica is not dying and not namenode.is_dead(replica)
+                       for replica in location.replicas)
 
     def _decommission(self, host):
         """Graceful DataNode drain: copy replicas away, then retire.
@@ -120,7 +158,8 @@ class FaultInjector:
         for location in locations:
             action = namenode.choose_rereplication(location)
             if action is None:
-                self.report.unrecoverable_blocks += 1
+                if self._lost(location, host):
+                    self.report.unrecoverable_blocks += 1
                 continue
             source, target = action
             children.append(self.cluster.sim.process(
@@ -141,7 +180,8 @@ class FaultInjector:
         for location in under_replicated:
             action = self.cluster.namenode.choose_rereplication(location)
             if action is None:
-                self.report.unrecoverable_blocks += 1
+                if self._lost(location, host):
+                    self.report.unrecoverable_blocks += 1
                 continue
             source, target = action
             self.cluster.sim.process(

@@ -195,3 +195,71 @@ def test_cache_stats_reports_both_levels(tmp_path):
 
 def test_default_workers_positive():
     assert default_workers() >= 1
+
+
+# -- supervised execution: the PR-4 acceptance scenario -----------------------------
+
+
+def test_faulty_campaign_completes_quarantines_and_resumes_byte_identical(
+        tmp_path):
+    """One poisoned point + one SIGKILLed worker + one transient error:
+    the campaign completes, quarantines exactly the poison, and a
+    ``--resume`` re-simulates zero completed points with traces
+    byte-identical to an uninterrupted serial run."""
+    from repro.experiments.supervision import (CheckpointJournal, Quarantine,
+                                               RetryPolicy)
+    from tests.test_supervision import (FlakyOncePoint, KillOncePoint,
+                                        PoisonPoint)
+
+    # The flaky point goes first so its transient failure is collected
+    # (and charged a retry) before the delayed SIGKILL collapses the
+    # pool and breaks every in-flight future.
+    points = [
+        FlakyOncePoint.from_campaign(
+            "grep", 0.0625, 901, SMALL,
+            {"sentinel": str(tmp_path / "flaky.once")}),
+    ] + _points() + [
+        KillOncePoint.from_campaign(
+            "grep", 0.125, 902, SMALL,
+            {"sentinel": str(tmp_path / "kill.once"), "delay": 2.0}),
+        PoisonPoint.from_campaign("grep", 0.0625, 903, SMALL),
+    ]
+    poison_key = points[-1].key()
+    journal_path = tmp_path / "journal.jsonl"
+    quarantine_path = tmp_path / "quarantine.jsonl"
+
+    runner = CampaignRunner(
+        store=None, workers=2,
+        retry_policy=RetryPolicy(max_attempts=3, base_delay=0.01),
+        journal=CheckpointJournal(journal_path),
+        quarantine=Quarantine(quarantine_path), strict=False)
+    outcomes = runner.run(points)
+
+    assert [outcome is None for outcome in outcomes] == [False] * 4 + [True]
+    assert [failure.key for failure in runner.failures] == [poison_key]
+    assert runner.stats.quarantined == 1
+    assert runner.stats.retries >= 1        # the transient OSError
+    assert runner.stats.pool_failures >= 1  # the SIGKILLed worker
+    assert [failure.key for failure in Quarantine.load(quarantine_path)] \
+        == [poison_key]
+
+    # Resume from the journal: every completed point replays without
+    # re-simulating; only the quarantined point is attempted again.
+    resumed = CampaignRunner(
+        store=None, workers=1,
+        retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+        journal=CheckpointJournal(journal_path), strict=False)
+    replayed = resumed.run(points)
+    assert resumed.stats.resumed_points == 4
+    assert resumed.stats.simulated == 1
+    assert replayed[4] is None
+
+    # Byte-identity against an uninterrupted serial run (the fault
+    # sentinels exist now, so the flaky/killer points run clean).
+    serial = CampaignRunner(
+        store=None, workers=1,
+        retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+        strict=False).run(points)
+    for index in range(4):
+        assert _trace_jsonl(replayed[index][1], tmp_path, f"r{index}.jsonl") \
+            == _trace_jsonl(serial[index][1], tmp_path, f"u{index}.jsonl")

@@ -175,6 +175,81 @@ def test_counters_track_traffic(populated):
     assert stats["bytes_read"] == stats["bytes_written"]
 
 
+# -- scrub: verify / repair ---------------------------------------------------------
+
+
+def test_verify_clean_store(populated):
+    store, _, _ = populated
+    report = store.verify()
+    assert report.clean
+    assert report.scanned == 1 and report.ok == 1
+    assert report.bytes_scanned > 0
+    assert store.registry.value("store.scrub.ok") == 1
+
+
+def test_verify_finds_every_problem_class(populated, tmp_path):
+    store, point, _ = populated
+    # A second good entry to corrupt, plus the original left intact.
+    other = _point(seed=99)
+    CampaignRunner(store=store, workers=1).run_point(other)
+    good_path = store.entry_path(point.key())
+
+    # corrupt: truncate the second entry.
+    bad_path = store.entry_path(other.key())
+    bad_path.write_text(bad_path.read_text()[:50])
+    # stale: a valid entry under an old format version.
+    stale_lines = good_path.read_text().splitlines()
+    header = json.loads(stale_lines[0])
+    header["store"]["format"] = TRACE_FORMAT_VERSION - 1
+    stale_path = bad_path.parent / ("0" * 64 + ".jsonl")
+    stale_path.write_text("\n".join([json.dumps(header)] + stale_lines[1:])
+                          + "\n")
+    # mismatched: a byte-valid entry filed under the wrong address.
+    wrong_path = bad_path.parent / ("f" * 64 + ".jsonl")
+    wrong_path.write_text(good_path.read_text())
+    # tmp dropping: a writer that died mid-publish.
+    (bad_path.parent / ".deadbeef.tmp").write_text("partial")
+
+    report = store.verify()
+    assert not report.clean
+    assert report.scanned == 4 and report.ok == 1
+    assert report.corrupt == 1
+    assert report.stale == 1
+    assert report.mismatched == 1
+    assert report.tmp_files == 1
+    assert report.quarantined == 0  # verify never moves anything
+    assert bad_path.exists()
+
+
+def test_repair_quarantines_bad_entries_and_removes_tmp(populated):
+    store, point, _ = populated
+    bad_path = store.entry_path(point.key())
+    bad_path.write_text("garbage")
+    tmp_file = bad_path.parent / ".dead.tmp"
+    tmp_file.write_text("partial")
+
+    report = store.verify(repair=True)
+    assert report.repaired
+    assert report.quarantined == 1
+    assert report.removed_tmp == 1
+    assert not bad_path.exists()
+    assert not tmp_file.exists()
+    assert (store.quarantine_dir / bad_path.name).read_text() == "garbage"
+    # The store is clean afterwards; the entry is simply a miss now.
+    assert store.verify().clean
+    assert store.get(point.key_dict()) is None
+
+
+def test_encode_decode_entry_roundtrip(populated):
+    store, point, (result, trace) = populated
+    text = store_mod.encode_entry(point.key_dict(), result, trace)
+    loaded_result, loaded_trace = store_mod.decode_entry(text)
+    assert loaded_result.to_dict() == result.to_dict()
+    assert [f.to_dict() for f in loaded_trace.flows] == \
+        [f.to_dict() for f in trace.flows]
+    assert store_mod.entry_key(text) == point.key_dict()
+
+
 # -- environment wiring -------------------------------------------------------------
 
 

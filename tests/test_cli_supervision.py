@@ -1,0 +1,93 @@
+"""CLI surface of the supervision layer: campaign failure summaries,
+--journal/--resume, and store verify/repair."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.campaigns import clear_cache, set_store
+from repro.experiments.runner import CapturePoint
+
+CAMPAIGN_ARGS = ["campaign", "--job", "grep", "--sizes-gb", "0.0625,0.125",
+                 "--nodes", "4", "--hosts-per-rack", "2"]
+
+
+@pytest.fixture(autouse=True)
+def isolated_caches():
+    clear_cache()
+    set_store(None)
+    yield
+    clear_cache()
+    set_store(None)
+
+
+def test_campaign_journal_then_resume_simulates_nothing(tmp_path, capsys):
+    journal = tmp_path / "journal.jsonl"
+    assert main(CAMPAIGN_ARGS + ["--journal", str(journal)]) == 0
+    assert journal.exists()
+    capsys.readouterr()
+
+    clear_cache()  # resume must come from the journal, not the memo
+    assert main(CAMPAIGN_ARGS + ["--resume", str(journal)]) == 0
+    out = capsys.readouterr().out
+    assert "resuming from" in out
+    assert "2 resumed" in out
+    assert "0 simulated" in out
+
+
+def test_campaign_rejects_zero_retries(capsys):
+    assert main(CAMPAIGN_ARGS + ["--retries", "0"]) == 2
+    assert "--retries" in capsys.readouterr().out
+
+
+def test_campaign_failure_exits_nonzero_with_readable_summary(
+        tmp_path, monkeypatch, capsys):
+    real = CapturePoint.simulate
+
+    def poisoned(self, telemetry=None):
+        if self.input_gb == 0.125:
+            raise ValueError("injected poison")
+        return real(self, telemetry)
+
+    monkeypatch.setattr(CapturePoint, "simulate", poisoned)
+    journal = tmp_path / "journal.jsonl"
+    code = main(CAMPAIGN_ARGS + ["--journal", str(journal)])
+    out = capsys.readouterr().out
+
+    assert code == 1
+    # Per-point summary, not a raw traceback dump.
+    assert "Traceback" not in out
+    assert "quarantined" in out
+    assert "ValueError" in out
+    assert "injected poison" in out
+    # The healthy point still resolved and was journaled.
+    assert "0.062" in out
+    # The quarantine sidecar defaults next to the journal.
+    sidecar = tmp_path / "quarantine.jsonl"
+    assert sidecar.exists()
+    record = json.loads(sidecar.read_text().splitlines()[0])
+    assert record["job"] == "grep"
+    assert record["input_gb"] == 0.125
+    assert str(sidecar) in out
+
+
+def test_store_verify_and_repair_cycle(tmp_path, capsys):
+    store_dir = tmp_path / "store"
+    trace = tmp_path / "trace.jsonl"
+    assert main(["capture", "--job", "grep", "--input-gb", "0.0625",
+                 "--nodes", "4", "--seed", "3", "-o", str(trace),
+                 "--store", str(store_dir)]) == 0
+    assert main(["store", "verify", "--store", str(store_dir)]) == 0
+    capsys.readouterr()
+
+    entry = next((store_dir / "objects").glob("*/*.jsonl"))
+    entry.write_text("garbage")
+    assert main(["store", "verify", "--store", str(store_dir)]) == 1
+    assert "corrupt" in capsys.readouterr().out
+
+    assert main(["store", "repair", "--store", str(store_dir)]) == 0
+    out = capsys.readouterr().out
+    assert "quarantined" in out
+    assert (store_dir / "quarantine" / entry.name).exists()
+    assert main(["store", "verify", "--store", str(store_dir)]) == 0

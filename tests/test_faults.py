@@ -4,7 +4,8 @@ import pytest
 
 from repro.cluster.config import ClusterSpec, HadoopConfig
 from repro.cluster.units import MB
-from repro.faults import DATANODE, NODE, NODEMANAGER, FaultEvent, FaultInjector
+from repro.faults import (DATANODE, DECOMMISSION, NODE, NODEMANAGER,
+                          FaultEvent, FaultInjector)
 from repro.hdfs.namenode import BlockLostError
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
@@ -148,6 +149,68 @@ def test_am_container_loss_fails_the_job():
     assert cluster.sim.pending() == 0
     if result.failed:
         assert result.rounds[0].failed
+
+
+def _blocks_held_by(cluster, path, host):
+    return sum(1 for location in cluster.namenode.locate_file(path)
+               if host in location.replicas)
+
+
+def test_duplicate_datanode_events_inject_once():
+    cluster = make_cluster()
+    cluster.dfs.preload_file("/data", 96 * MB)
+    victim = cluster.workers[2]
+    held = _blocks_held_by(cluster, "/data", victim)
+    injector = FaultInjector(cluster, [FaultEvent(1.0, DATANODE, victim.name),
+                                       FaultEvent(2.0, DATANODE, victim.name)])
+    cluster.sim.run()
+    report = injector.report
+    assert len(report.injected) == 1
+    assert report.duplicates_ignored == 1
+    # One round of re-replication, not two: each lost replica restored
+    # exactly once, replication factor back to 3 (never 4).
+    assert report.blocks_rereplicated == held
+    for location in cluster.namenode.locate_file("/data"):
+        assert len(location.replicas) == 3
+
+
+def test_crash_during_decommission_does_not_double_copy():
+    cluster = make_cluster()
+    cluster.dfs.preload_file("/data", 96 * MB)
+    victim = cluster.workers[1]
+    held = _blocks_held_by(cluster, "/data", victim)
+    assert held > 0
+    # The crash lands while the drain is still copying replicas away;
+    # the draining DataNode is already claimed, so the kill must not
+    # re-prune its (still-registered) replicas and copy them again.
+    injector = FaultInjector(cluster, [FaultEvent(1.0, DECOMMISSION, victim.name),
+                                       FaultEvent(1.5, DATANODE, victim.name)])
+    cluster.sim.run()
+    report = injector.report
+    assert len(report.injected) == 1
+    assert report.duplicates_ignored == 1
+    assert report.blocks_rereplicated == held
+    assert report.unrecoverable_blocks == 0
+    for location in cluster.namenode.locate_file("/data"):
+        assert len(location.replicas) == 3
+        assert victim not in location.replicas
+
+
+def test_node_event_after_datanode_kill_still_takes_nodemanager():
+    cluster = make_cluster()
+    cluster.dfs.preload_file("/data", 96 * MB)
+    victim = cluster.workers[4]
+    injector = FaultInjector(cluster, [FaultEvent(1.0, DATANODE, victim.name),
+                                       FaultEvent(2.0, NODE, victim.name)])
+    cluster.sim.run()
+    report = injector.report
+    # The NODE event finds the DataNode already down but the
+    # NodeManager still up: it partially applies, so it counts as
+    # injected, not as a duplicate.
+    assert len(report.injected) == 2
+    assert report.duplicates_ignored == 0
+    for location in cluster.namenode.locate_file("/data"):
+        assert len(location.replicas) == 3
 
 
 def test_fault_report_counts_consistent():
