@@ -1,0 +1,117 @@
+"""Transport-backend benchmark: fluid vs analytic on an E12-style sweep.
+
+Runs the cluster-size scaling campaign (terasort, weak scaling: input
+and reducer count grow with the cluster, as in experiment E12) once
+per transport backend and records wall-clock plus the correctness
+contract: at every point the analytic backend must reproduce the fluid
+backend's data-plane flow population *exactly* — same count, sizes,
+endpoints and component tags — while only the timings (and therefore
+JCT) are approximate.
+
+The campaign runs in the timing-stable configuration the guarantee is
+defined for (DESIGN.md "Transport backends"): ``placement_mode="keyed"``
+and enough container slots for a single map wave, so no scheduling
+decision rides on data-plane timing.
+
+Writes ``BENCH_backends.json`` at the repo root and asserts the
+headline acceptance number: >= 5x campaign speedup for analytic.
+
+Run via ``scripts/run_benchmarks.sh`` or::
+
+    pytest benchmarks/bench_backends.py -m benchmark_suite -q -s
+"""
+
+import collections
+import json
+import time
+from pathlib import Path
+
+from repro.experiments.campaigns import CampaignConfig
+from repro.experiments.runner import CapturePoint
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
+
+SEED = 42
+MIN_SPEEDUP = 5.0
+
+#: Weak-scaling ladder: (nodes, input_gb, reducers, containers/node).
+#: containers_per_node keeps slots >= maps + reducers + AM at every
+#: rung (32 MiB blocks -> 32 maps/GiB), the single-wave regime the
+#: population-identity guarantee requires.
+LADDER = [
+    (16, 2.0, 16, 6),
+    (32, 4.0, 32, 6),
+    (64, 8.0, 32, 6),
+]
+
+
+def _population(trace):
+    return collections.Counter(
+        (flow.src, flow.dst, round(flow.size, 6), flow.component)
+        for flow in trace.flows if flow.component != "control")
+
+
+def _run(backend, nodes, input_gb, reducers, containers):
+    point = CapturePoint.from_campaign(
+        "terasort", input_gb, SEED,
+        CampaignConfig(nodes=nodes, num_reducers=reducers,
+                       containers_per_node=containers,
+                       placement_mode="keyed", backend=backend))
+    started = time.perf_counter()
+    result, trace = point.simulate()
+    return time.perf_counter() - started, result, trace
+
+
+def test_analytic_backend_campaign_speedup():
+    rows = []
+    totals = {"fluid": 0.0, "analytic": 0.0}
+    for nodes, input_gb, reducers, containers in LADDER:
+        fluid_s, fluid_result, fluid_trace = _run(
+            "fluid", nodes, input_gb, reducers, containers)
+        analytic_s, analytic_result, analytic_trace = _run(
+            "analytic", nodes, input_gb, reducers, containers)
+        identical = _population(fluid_trace) == _population(analytic_trace)
+        assert identical, \
+            f"analytic flow population diverged at nodes={nodes} gb={input_gb}"
+        totals["fluid"] += fluid_s
+        totals["analytic"] += analytic_s
+        jct_err = abs(analytic_result.completion_time
+                      - fluid_result.completion_time) \
+            / fluid_result.completion_time
+        rows.append({
+            "nodes": nodes, "input_gb": input_gb, "reducers": reducers,
+            "containers_per_node": containers,
+            "flows": len(fluid_trace.flows),
+            "fluid_s": round(fluid_s, 4),
+            "analytic_s": round(analytic_s, 4),
+            "speedup": round(fluid_s / analytic_s, 2),
+            "population_identical": identical,
+            "jct_rel_error": round(jct_err, 4),
+        })
+        print(f"nodes={nodes:3d} gb={input_gb:4.1f} "
+              f"fluid={fluid_s:6.2f}s analytic={analytic_s:5.2f}s "
+              f"speedup={fluid_s / analytic_s:5.1f}x "
+              f"jct_err={jct_err:6.1%} identical={identical}")
+
+    speedup = totals["fluid"] / totals["analytic"]
+    report = {
+        "campaign": {"job": "terasort", "seed": SEED, "ladder": [
+            {"nodes": n, "input_gb": g, "reducers": r,
+             "containers_per_node": c} for n, g, r, c in LADDER],
+            "placement_mode": "keyed"},
+        "points": rows,
+        "fluid_total_s": round(totals["fluid"], 4),
+        "analytic_total_s": round(totals["analytic"], 4),
+        "speedup_campaign": round(speedup, 2),
+        "population_identical": all(row["population_identical"]
+                                    for row in rows),
+        "max_jct_rel_error": max(row["jct_rel_error"] for row in rows),
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nbackend bench: fluid {totals['fluid']:.2f}s, analytic "
+          f"{totals['analytic']:.2f}s -> {speedup:.1f}x, populations "
+          f"identical -> {OUTPUT.name}")
+
+    assert speedup >= MIN_SPEEDUP, \
+        f"analytic backend should be >={MIN_SPEEDUP}x faster over the " \
+        f"campaign, got {speedup:.2f}x"

@@ -17,14 +17,33 @@ else
     echo "== ruff: not installed, skipping lint =="
 fi
 
-# 2. Tier-1 tests (benchmarks/ are excluded by their conftest).  The
+# 2. Repo hygiene: compiled bytecode must never be committed.  The
+#    tree once grew stale .pyc files that shadowed edited sources;
+#    .gitignore covers them, and this guard fails the gate if any ever
+#    get force-added.
+echo "== tracked-bytecode guard =="
+if git ls-files | grep -E '(\.pyc$|__pycache__/)'; then
+    echo "error: compiled bytecode is tracked by git (see above)" >&2
+    exit 1
+fi
+echo "no tracked bytecode"
+
+# 3. Tier-1 tests (benchmarks/ are excluded by their conftest).  The
 #    per-test hang guard (tests/conftest.py) turns a hung test into a
 #    readable failure instead of a stuck gate; override the budget by
 #    exporting KEDDAH_TEST_TIMEOUT yourself.
 echo "== tier-1 pytest =="
 KEDDAH_TEST_TIMEOUT="${KEDDAH_TEST_TIMEOUT:-120}" python -m pytest -x -q "$@"
 
-# 3. Telemetry null-path smoke: an un-configured run must emit zero
+# 4. Transport-backend differential gate: the analytic and record
+#    backends must keep reproducing the fluid backend's flow
+#    populations (and the exporters' bytes) before anything ships.
+#    Redundant with tier-1 when the full suite ran, but kept explicit
+#    so a scoped `check.sh -k <pattern>` run still exercises it.
+echo "== transport-backend differential suite =="
+python -m pytest tests/test_backend_differential.py tests/test_net_backend.py -q
+
+# 5. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.
 echo "== telemetry null-path smoke =="
 python - <<'EOF'

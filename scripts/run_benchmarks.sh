@@ -12,6 +12,9 @@
 #   BENCH_campaign_faults.json — crash-injection stress: supervised pool
 #                          vs SIGKILLed workers, recovery overhead and
 #                          byte-identity (benchmarks/bench_campaign_faults.py)
+#   BENCH_backends.json  — transport backends: fluid vs analytic wall-clock
+#                          on the E12-style scaling campaign, flow-population
+#                          identity asserted (benchmarks/bench_backends.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -45,5 +48,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_campaign_faults.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_backends.py \
     -m benchmark_suite \
     -q -s "$@"

@@ -11,6 +11,7 @@
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 from repro.capture.records import JobTrace
@@ -36,6 +37,7 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
                 cluster_spec: Optional[ClusterSpec] = None,
                 hosts_per_rack: int = 4,
                 telemetry: Optional[Telemetry] = None,
+                backend: Optional[str] = None,
                 **job_kwargs) -> JobTrace:
     """Run one job on a fresh simulated cluster; return its capture.
 
@@ -44,10 +46,15 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
     ``num_reducers=32`` or ``iterations=5``).  ``cluster_spec`` wins
     over the ``nodes``/``hosts_per_rack`` shortcuts when provided.
     ``telemetry`` (e.g. ``Telemetry.enabled_in_memory()``) observes the
-    run without changing the captured bytes.
+    run without changing the captured bytes.  ``backend`` selects the
+    transport substrate (``fluid``/``analytic``/``record``, see
+    :mod:`repro.net.backend`); it overrides ``cluster_spec.backend``
+    when given.
     """
     spec = cluster_spec or ClusterSpec(num_nodes=nodes,
                                        hosts_per_rack=hosts_per_rack)
+    if backend is not None and backend != spec.backend:
+        spec = replace(spec, backend=backend)
     cluster = HadoopCluster(spec, config or HadoopConfig(), seed=seed,
                             telemetry=telemetry)
     job_spec = make_job(job, input_gb=input_gb, **job_kwargs)
@@ -59,6 +66,7 @@ def run_capture_campaign(job: str, input_sizes_gb: Sequence[float],
                          nodes: int = 16, seed: int = 0, repeats: int = 1,
                          config: Optional[HadoopConfig] = None,
                          workers: int = 1,
+                         backend: str = "fluid",
                          **job_kwargs) -> List[JobTrace]:
     """Capture one job kind across input sizes (the paper's sweep unit).
 
@@ -74,7 +82,7 @@ def run_capture_campaign(job: str, input_sizes_gb: Sequence[float],
     from repro.experiments.campaigns import make_runner
     from repro.experiments.runner import CapturePoint, derive_seed
 
-    spec = ClusterSpec(num_nodes=nodes, hosts_per_rack=4)
+    spec = ClusterSpec(num_nodes=nodes, hosts_per_rack=4, backend=backend)
     hadoop = config or HadoopConfig()
     points = [CapturePoint.from_configs(
                   job, input_gb, derive_seed(seed, size_index, repeat),

@@ -1,7 +1,8 @@
 """Flow collector: observes the network and materialises job traces.
 
 Plays the role of the cluster-wide tcpdump in the paper's toolchain.
-The collector subscribes to a :class:`~repro.net.network.FlowNetwork`
+The collector subscribes to a
+:class:`~repro.net.backend.TransportBackend` (any substrate)
 and converts every completed non-local flow into a
 :class:`~repro.capture.records.FlowRecord`.  Host-local transfers are
 skipped — a NIC capture never sees loopback disk I/O.
@@ -17,13 +18,13 @@ from typing import Any, Dict, List, Optional
 
 from repro.capture.records import CaptureMeta, FlowRecord, JobTrace, TrafficComponent
 from repro.net.flow import Flow
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 
 
 class FlowCollector:
     """Accumulates flow records from a live network simulation."""
 
-    def __init__(self, network: FlowNetwork, include_local: bool = False):
+    def __init__(self, network: TransportBackend, include_local: bool = False):
         self.network = network
         self.include_local = include_local
         self.records: List[FlowRecord] = []

@@ -37,6 +37,7 @@ from repro.generation.generator import generate_trace
 from repro.generation.replay import replay_trace
 from repro.jobs import job_catalog
 from repro.modeling.model import JobTrafficModel, fit_job_model
+from repro.net.backend import BACKEND_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -54,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     capture.add_argument("--block-mb", type=int, default=32)
     capture.add_argument("--reducers", type=int, default=4)
     capture.add_argument("--replication", type=int, default=3)
+    capture.add_argument("--backend", default="fluid",
+                         choices=list(BACKEND_NAMES),
+                         help="transport substrate: fluid (exact), analytic "
+                              "(fast approximate timings), record (intent "
+                              "log, degenerate timings)")
     capture.add_argument("--scheduler", default="fifo",
                          choices=["fifo", "fair", "capacity", "drf"])
     capture.add_argument("-o", "--output", required=True,
@@ -83,6 +89,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--block-mb", type=int, default=32)
     campaign.add_argument("--reducers", type=int, default=4)
     campaign.add_argument("--replication", type=int, default=3)
+    campaign.add_argument("--backend", default="fluid",
+                          choices=list(BACKEND_NAMES),
+                          help="transport substrate for every point "
+                               "(store keys include it, so analytic and "
+                               "fluid sweeps never alias)")
     campaign.add_argument("--scheduler", default="fifo",
                           choices=["fifo", "fair", "capacity", "drf"])
     campaign.add_argument("--workers", type=int, default=1,
@@ -154,6 +165,9 @@ def build_parser() -> argparse.ArgumentParser:
     replay = sub.add_parser("replay", help="replay a trace through the network")
     replay.add_argument("trace")
     replay.add_argument("--time-scale", type=float, default=1.0)
+    replay.add_argument("--backend", default="fluid",
+                        choices=list(BACKEND_NAMES),
+                        help="transport substrate to replay against")
 
     export = sub.add_parser("export", help="export a trace for a simulator")
     export.add_argument("trace")
@@ -279,7 +293,8 @@ def cmd_capture(args: argparse.Namespace) -> int:
         from repro.experiments.runner import CampaignRunner, CapturePoint
 
         spec = ClusterSpec(num_nodes=args.nodes,
-                           hosts_per_rack=args.hosts_per_rack)
+                           hosts_per_rack=args.hosts_per_rack,
+                           backend=args.backend)
         point = CapturePoint.from_configs(args.job, args.input_gb, args.seed,
                                           spec, config)
         _, trace = CampaignRunner(store=store,
@@ -289,7 +304,7 @@ def cmd_capture(args: argparse.Namespace) -> int:
         trace = run_capture(args.job, input_gb=args.input_gb, nodes=args.nodes,
                             seed=args.seed, config=config,
                             hosts_per_rack=args.hosts_per_rack,
-                            telemetry=telemetry)
+                            telemetry=telemetry, backend=args.backend)
         origin = "simulated"
     trace.to_jsonl(args.output)
     print(f"captured {trace.flow_count()} flows "
@@ -334,7 +349,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                               block_mb=args.block_mb,
                               num_reducers=args.reducers,
                               replication=args.replication,
-                              scheduler=args.scheduler)
+                              scheduler=args.scheduler,
+                              backend=args.backend)
     store = _resolve_store(args.store)
     if args.invalidate:
         if store is None:
@@ -512,7 +528,8 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_replay(args: argparse.Namespace) -> int:
     trace = JobTrace.from_jsonl(args.trace)
-    report = replay_trace(trace, time_scale=args.time_scale)
+    report = replay_trace(trace, time_scale=args.time_scale,
+                          backend=args.backend)
     table = Table(title=f"replay of {args.trace}",
                   headers=["metric", "value"])
     table.add_row("flows", report.flow_count)

@@ -39,6 +39,11 @@ class ClusterSpec:
     # mean-1 lognormal with this sigma (0 = homogeneous cluster).
     # Slow nodes stretch their tasks' compute phases.
     node_speed_sigma: float = 0.0
+    # Transport backend the cluster emits flows against: "fluid" (the
+    # reference max-min engine), "analytic" (closed-form per-wave
+    # approximation) or "record" (zero-cost intent recorder).  See
+    # repro.net.backend.
+    backend: str = "fluid"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -53,6 +58,11 @@ class ClusterSpec:
             raise ValueError("hop_latency_s must be >= 0")
         if self.node_speed_sigma < 0:
             raise ValueError("node_speed_sigma must be >= 0")
+        # Lazy import: cluster.config must stay importable from repro.net.
+        from repro.net.backend import BACKEND_NAMES
+        if self.backend not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}")
 
     @property
     def num_racks(self) -> int:
@@ -115,6 +125,16 @@ class HadoopConfig:
     # falling back.  0 = immediate fallback.  Maps onto
     # yarn.scheduler.capacity.node-locality-delay in spirit.
     delay_scheduling_s: float = 0.0
+    # How locality-free containers (the AM and reduce tasks) are bound
+    # to hosts.  "grant": whichever node's heartbeat delivers a
+    # container first (YARN's behaviour — placement then depends on
+    # data-plane timing through the heartbeat the grant lands on).
+    # "keyed": AM and reducers are pinned up front to uniformly drawn
+    # hosts (the paper's reducer-placement model) and only accept
+    # containers there, making the flow population invariant to
+    # transport-backend timing.  Maps keep locality-driven binding in
+    # both modes.  See DESIGN.md "Transport backends".
+    placement_mode: str = "grant"
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -132,6 +152,10 @@ class HadoopConfig:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.delay_scheduling_s < 0:
             raise ValueError("delay_scheduling_s must be >= 0")
+        if self.placement_mode not in ("grant", "keyed"):
+            raise ValueError(
+                f"unknown placement_mode {self.placement_mode!r}; "
+                f"expected 'grant' or 'keyed'")
         if not 0.0 < self.compression_ratio <= 1.0:
             raise ValueError("compression_ratio must be in (0, 1]")
         if not 0.0 <= self.straggler_prob <= 1.0:

@@ -60,13 +60,16 @@ class CampaignConfig:
     oversubscription: float = 1.0
     containers_per_node: int = 4
     speculative: bool = False
+    backend: str = "fluid"
+    placement_mode: str = "grant"
 
     def cluster_spec(self) -> ClusterSpec:
         return ClusterSpec(num_nodes=self.nodes,
                            hosts_per_rack=self.hosts_per_rack,
                            topology=self.topology,
                            oversubscription=self.oversubscription,
-                           containers_per_node=self.containers_per_node)
+                           containers_per_node=self.containers_per_node,
+                           backend=self.backend)
 
     def hadoop_config(self) -> HadoopConfig:
         return HadoopConfig(block_size=self.block_mb * MB,
@@ -74,7 +77,8 @@ class CampaignConfig:
                             replication=self.replication,
                             scheduler=self.scheduler,
                             slowstart=self.slowstart,
-                            speculative=self.speculative)
+                            speculative=self.speculative,
+                            placement_mode=self.placement_mode)
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical field dict: explicit values, stable key order.
@@ -94,6 +98,8 @@ class CampaignConfig:
             "oversubscription": self.oversubscription,
             "containers_per_node": self.containers_per_node,
             "speculative": self.speculative,
+            "backend": self.backend,
+            "placement_mode": self.placement_mode,
         }
 
 

@@ -142,12 +142,35 @@ class CapturePoint:
             "job": self.job,
             "input_gb": self.input_gb,
             "seed": self.seed,
+            # Explicit top-level backend discriminator: analytic and
+            # fluid captures of the same point must never alias, no
+            # matter which constructor built the key_config payload.
+            "backend": self.cluster_spec.backend,
             "config": _thaw(self.key_config),
             "job_kwargs": _thaw(self.job_kwargs),
         }
 
     def key(self) -> str:
         return key_hash(self.key_dict())
+
+    def logical_key(self) -> str:
+        """Hash of the workload alone: backend- and format-independent.
+
+        Seeds the job id, so the same logical point produces the same
+        RNG streams (and therefore the same flow population) under
+        every transport backend — while :meth:`key` still separates
+        their store entries.
+        """
+        logical = self.key_dict()
+        del logical["format"]
+        del logical["backend"]
+        config = {name: dict(value) if isinstance(value, dict) else value
+                  for name, value in logical["config"].items()}
+        for section in config.values():
+            if isinstance(section, dict):
+                section.pop("backend", None)
+        logical["config"] = config
+        return key_hash(logical)
 
     def simulate(self, telemetry: Optional[Telemetry] = None,
                  ) -> Tuple[JobResult, JobTrace]:
@@ -161,7 +184,7 @@ class CapturePoint:
         ``telemetry`` never changes the returned bytes.
         """
         kwargs = dict(self.job_kwargs)
-        kwargs.setdefault("job_id", f"job_{self.job}_{self.key()[:10]}")
+        kwargs.setdefault("job_id", f"job_{self.job}_{self.logical_key()[:10]}")
         cluster = HadoopCluster(self.cluster_spec, self.hadoop_config,
                                 seed=self.seed, telemetry=telemetry)
         spec = make_job(self.job, input_gb=self.input_gb, **kwargs)

@@ -52,7 +52,9 @@ from repro.obs.metrics import MetricsRegistry
 
 #: Version of the (key schema, entry layout, trace JSONL schema) triple.
 #: Bump when any of them changes shape; old entries then re-simulate.
-TRACE_FORMAT_VERSION = 1
+#: v2: key schema grew a top-level ``backend`` discriminator (transport
+#: substrate), so fluid/analytic captures of one point can never alias.
+TRACE_FORMAT_VERSION = 2
 
 #: Environment variable naming the default store directory.  Unset =
 #: no persistent store (the in-memory memo still applies).

@@ -17,7 +17,7 @@ from repro.capture.collector import FlowCollector
 from repro.capture.records import FlowRecord, JobTrace
 from repro.cluster.config import ClusterSpec
 from repro.cluster.topology import Host, Topology, build_topology
-from repro.net.network import FlowNetwork
+from repro.net.backend import make_backend
 from repro.simkit import Simulator
 from repro.simkit.rng import stable_hash
 
@@ -43,14 +43,18 @@ class ReplayReport:
 
 
 def replay_trace(trace: JobTrace, topology: Optional[Topology] = None,
-                 time_scale: float = 1.0) -> ReplayReport:
+                 time_scale: float = 1.0,
+                 backend: str = "fluid") -> ReplayReport:
     """Replay every flow of ``trace`` at its recorded start time.
 
     The topology defaults to one built from the trace's cluster spec.
     Host names missing from the topology (e.g. a capture from foreign
     hardware) are mapped onto workers by a stable hash, preserving
     src/dst distinctness where possible.  ``time_scale`` stretches or
-    compresses the schedule (1.0 = as captured).
+    compresses the schedule (1.0 = as captured).  ``backend`` selects
+    the transport substrate replayed against; ``record`` turns replay
+    into a zero-cost re-emission of the trace's own schedule (what the
+    ns-3/OMNeT exporters consume).
     """
     if time_scale <= 0:
         raise ValueError(f"time_scale must be positive, got {time_scale}")
@@ -61,7 +65,7 @@ def replay_trace(trace: JobTrace, topology: Optional[Topology] = None,
                                   host_gbps=spec.host_gbps,
                                   oversubscription=spec.oversubscription)
     sim = Simulator()
-    net = FlowNetwork(sim, topology)
+    net = make_backend(backend, sim, topology)
     collector = FlowCollector(net)
     by_name = {host.name: host for host in topology.hosts}
     workers = topology.hosts[1:] if len(topology.hosts) > 1 else topology.hosts

@@ -28,7 +28,7 @@ from repro.cluster.topology import Host
 from repro.cluster.units import MB
 from repro.hdfs.blocks import BlockLocation
 from repro.hdfs.namenode import NameNode
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 from repro.simkit.core import Simulator
 from repro.simkit.resources import Resource
 
@@ -47,7 +47,7 @@ class BalancerReport:
 class Balancer:
     """Plans and executes block moves over the flow network."""
 
-    def __init__(self, sim: Simulator, net: FlowNetwork, namenode: NameNode,
+    def __init__(self, sim: Simulator, net: TransportBackend, namenode: NameNode,
                  bandwidth: float = 10.0 * MB, threshold: float = 0.1,
                  max_concurrent_moves: int = 2, max_moves: int = 1000):
         if bandwidth <= 0:

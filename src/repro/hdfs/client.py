@@ -29,14 +29,14 @@ from repro.cluster.topology import Host
 from repro.hdfs.blocks import Block, BlockLocation
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import NameNode
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 from repro.simkit.core import Simulator
 
 
 class DfsClient:
     """Client-side HDFS operations over the flow network."""
 
-    def __init__(self, sim: Simulator, net: FlowNetwork, namenode: NameNode,
+    def __init__(self, sim: Simulator, net: TransportBackend, namenode: NameNode,
                  datanodes: Dict[Host, DataNode], config: HadoopConfig):
         self.sim = sim
         self.net = net

@@ -7,7 +7,7 @@ from typing import Optional
 from repro.capture.records import TrafficComponent
 from repro.cluster import ports
 from repro.cluster.topology import Host
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 from repro.simkit.core import Simulator
 
 
@@ -19,7 +19,7 @@ class DataNode:
     NameNode that make up part of Hadoop's control-plane traffic.
     """
 
-    def __init__(self, sim: Simulator, net: FlowNetwork, host: Host,
+    def __init__(self, sim: Simulator, net: TransportBackend, host: Host,
                  namenode_host: Host, disk_read_rate: float, disk_write_rate: float,
                  heartbeat_interval: float = 3.0, heartbeat_bytes: int = 512):
         if disk_read_rate <= 0 or disk_write_rate <= 0:

@@ -29,13 +29,23 @@ class NameNode:
     def __init__(self, host: Host, datanodes: Sequence[Host],
                  policy: Optional[PlacementPolicy] = None,
                  rng: Optional[np.random.Generator] = None,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 seed: Optional[int] = None):
         if not datanodes:
             raise ValueError("NameNode needs at least one DataNode")
         self.host = host
         self.datanodes = list(datanodes)
         self.policy = policy or DefaultPlacementPolicy()
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Placement/read-tie decisions draw from per-key generators
+        # derived from ``seed`` + a stable content key (path, block
+        # index, occurrence count) instead of one shared stream, so the
+        # chosen replicas do not depend on *request order* — which
+        # varies with transport-backend timing while the keys do not.
+        # ``seed=None`` (stand-alone NameNodes in unit tests) falls
+        # back to the shared order-dependent stream.
+        self._seed = seed
+        self._draw_counts: Dict[str, int] = {}
         # The NameNode holds no simulator reference, so the cluster
         # hands it the telemetry facade explicitly.
         self.telemetry = telemetry if telemetry is not None else Telemetry.disabled()
@@ -50,6 +60,22 @@ class NameNode:
         self._block_ids = itertools.count(1)
         self._dead: set = set()
         self._decommissioning: set = set()
+
+    def _keyed_rng(self, key: str) -> np.random.Generator:
+        """Per-decision generator: f(seed, key, occurrence) — not order.
+
+        Repeated draws for one key stay independent (the occurrence
+        count feeds the spawn key), yet any two distinct decisions never
+        share a stream, so the outcome of one can never shift another's.
+        """
+        if self._seed is None:
+            return self.rng
+        count = self._draw_counts.get(key, 0)
+        self._draw_counts[key] = count + 1
+        from repro.simkit.rng import stable_hash
+        sequence = np.random.SeedSequence(
+            entropy=self._seed, spawn_key=(stable_hash(key), count))
+        return np.random.default_rng(sequence)
 
     # -- namespace ------------------------------------------------------------
 
@@ -168,7 +194,9 @@ class NameNode:
             writer = None
         block = Block(path=path, index=len(blocks), size=size,
                       block_id=next(self._block_ids))
-        targets = self.policy.choose_targets(live, replication, writer, self.rng)
+        targets = self.policy.choose_targets(
+            live, replication, writer,
+            self._keyed_rng(f"place:{path}:{len(blocks)}"))
         location = BlockLocation(block=block, replicas=targets)
         blocks.append(block)
         self._locations[block.block_id] = location
@@ -200,7 +228,9 @@ class NameNode:
             return reader
         rack_local = [replica for replica in replicas if replica.rack == reader.rack]
         pool = rack_local or replicas
-        return pool[int(self.rng.integers(len(pool)))]
+        rng = self._keyed_rng(
+            f"read:{block.path}:{block.index}:{reader.name}")
+        return pool[int(rng.integers(len(pool)))]
 
     # -- statistics -----------------------------------------------------------
 

@@ -39,7 +39,7 @@ from repro.mapreduce import constants
 from repro.mapreduce import counters as ctr
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.result import RoundResult
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 from repro.obs.trace import NULL_SPAN
 from repro.simkit.core import Interrupt, Signal, Simulator
 from repro.simkit.resources import Store
@@ -69,13 +69,17 @@ class _MapTask:
 
 class _ReduceTask:
     __slots__ = ("index", "store", "state", "host", "claimed", "fetched_bytes",
-                 "delivered", "fetchers")
+                 "delivered", "fetchers", "preferred")
 
     def __init__(self, index: int, store: Store):
         self.index = index
         self.store = store
         self.state = _PENDING
         self.host: Optional[Host] = None
+        # Pinned target host under placement_mode="keyed"; None
+        # accepts any grant (the "grant" mode, and keyed recovery
+        # after the pinned host died).
+        self.preferred: Optional[Host] = None
         self.claimed = 0
         self.fetched_bytes = 0.0
         # Every (map host, bytes) ever delivered — replayed into a fresh
@@ -87,7 +91,7 @@ class _ReduceTask:
 class MRAppMaster(Application):
     """Runs one MapReduce round as a YARN application."""
 
-    def __init__(self, sim: Simulator, net: FlowNetwork, dfs: DfsClient,
+    def __init__(self, sim: Simulator, net: TransportBackend, dfs: DfsClient,
                  rm: ResourceManager, config: HadoopConfig, spec: JobSpec,
                  input_paths: List[str], output_path: str,
                  rng: np.random.Generator, round_index: int = 0,
@@ -124,6 +128,15 @@ class MRAppMaster(Application):
         self._am_ready = False
         self._am_container: Optional[Container] = None
         self.am_host: Optional[Host] = None
+        # Keyed placement pins the AM container itself: the AM grant
+        # otherwise lands on whichever node heartbeats first after job
+        # submission, and submission time rides on the jar-staging
+        # flows — timing a transport backend only approximates.  Drawn
+        # here (before any task draws) so the stream layout is fixed.
+        self._am_target: Optional[Host] = None
+        if config.placement_mode == "keyed":
+            workers = dfs.namenode.datanodes
+            self._am_target = workers[int(rng.integers(len(workers)))]
         self._running = False
         self._localized_nodes: set = set()
 
@@ -171,6 +184,13 @@ class MRAppMaster(Application):
         self._map_queue = list(self._maps)
         self.result.num_maps = len(self._maps)
         self.result.input_bytes = sum(task.size for task in self._maps)
+        # Output-size jitter models data skew — a property of the
+        # split, not of the attempt that processes it.  Drawn per task
+        # in index order at build time, map-output (and therefore
+        # shuffle and store) sizes are invariant to attempt timing:
+        # every transport backend, speculative re-attempt and fetch
+        # recovery sees the same bytes.
+        self._size_jitters = [self._jitter() for _ in self._maps]
 
     def _build_reduce_tasks(self) -> None:
         self._reduces = [
@@ -182,6 +202,16 @@ class MRAppMaster(Application):
         if self.num_reduces:
             self._partition_weights = self.profile.partition_weights(
                 self.num_reduces, self.rng)
+        if self.config.placement_mode == "keyed" and self.num_reduces:
+            # Pin each reducer to a uniformly drawn worker, in index
+            # order at build time.  Reducers have no data locality, so
+            # YARN's heartbeat-order placement is effectively random
+            # anyway; drawing it up front keeps the shuffle's endpoints
+            # a function of (job, seed) alone rather than of grant
+            # timing — which transport backends only approximate.
+            workers = self.dfs.namenode.datanodes
+            for task in self._reduces:
+                task.preferred = workers[int(self.rng.integers(len(workers)))]
 
     # -- Application protocol ----------------------------------------------------
 
@@ -197,6 +227,8 @@ class MRAppMaster(Application):
 
     def on_container_granted(self, container: Container) -> bool:
         if not self._am_granted:
+            if self._am_target is not None and container.host is not self._am_target:
+                return False
             self._am_granted = True
             self._am_container = container
             self.am_host = container.host
@@ -222,7 +254,9 @@ class MRAppMaster(Application):
             self._container_tasks[container.container_id] = ("map", task, process)
             return True
         if self._reduces_open() and self._reduce_queue:
-            reduce_task = self._reduce_queue.pop(0)
+            reduce_task = self._pick_reduce(container.host)
+            if reduce_task is None:
+                return False
             reduce_task.state = _RUNNING
             reduce_task.host = container.host
             if self._reduce_stage_span is NULL_SPAN:
@@ -276,6 +310,9 @@ class MRAppMaster(Application):
             task.fetched_bytes = 0.0
             task.state = _PENDING
             task.host = None
+            # The pinned host just failed — let the re-execution take
+            # any grant rather than starve on a dead node.
+            task.preferred = None
             self._reduce_queue.append(task)
 
     def _fail_round(self) -> None:
@@ -323,6 +360,24 @@ class MRAppMaster(Application):
         if wait > 0 and elapsed < 2.0 * wait:
             return None  # second tier: wait for at least rack-local
         return self._map_queue.pop(0)
+
+    def _pick_reduce(self, host: Host) -> Optional[_ReduceTask]:
+        """Bind a pending reduce to the offered host.
+
+        "grant" placement takes the queue head regardless of host;
+        "keyed" only accepts the host a task was pinned to (declining
+        otherwise), so reducers wait for their own node's heartbeat and
+        land identically under every transport backend.  A pinned host
+        that is saturated merely delays the grant — the pin, and hence
+        the shuffle endpoints, never moves.
+        """
+        if not self._reduce_queue:
+            return None
+        for task in self._reduce_queue:
+            if task.preferred is None or task.preferred is host:
+                self._reduce_queue.remove(task)
+                return task
+        return None
 
     def _reduces_open(self) -> bool:
         if not self.num_reduces:
@@ -483,7 +538,8 @@ class MRAppMaster(Application):
             self.counters.increment(ctr.HDFS_BYTES_READ, task.block.size)
         compute = self._compute_time(task.size, self.profile.map_cpu_rate, host)
         yield self.sim.timeout(compute)
-        output = task.size * self.profile.map_selectivity * self._jitter()
+        output = (task.size * self.profile.map_selectivity
+                  * self._size_jitters[task.index])
         task.output_bytes = output
         if self.profile.map_only or self.num_reduces == 0:
             # Zero-reducer jobs write map output straight to HDFS.

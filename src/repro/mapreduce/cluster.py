@@ -27,7 +27,7 @@ from repro.jobs.base import JobSpec
 from repro.mapreduce import constants
 from repro.mapreduce.driver import JobDriver
 from repro.mapreduce.result import JobResult
-from repro.net.network import FlowNetwork
+from repro.net.backend import make_backend
 from repro.obs.probes import ClusterProbes
 from repro.obs.telemetry import Telemetry
 from repro.simkit import RngRegistry, Simulator
@@ -64,14 +64,15 @@ class HadoopCluster:
         self.master: Host = self.topology.hosts[-1]
         self.workers: List[Host] = self.topology.hosts[:-1]
 
-        self.net = FlowNetwork(self.sim, self.topology,
-                               hop_latency=self.spec.hop_latency_s)
+        self.net = make_backend(self.spec.backend, self.sim, self.topology,
+                                hop_latency=self.spec.hop_latency_s)
         self.collector = FlowCollector(self.net)
 
         self.namenode = NameNode(self.master, self.workers,
                                  policy=placement_policy,
                                  rng=self.rng.stream("placement"),
-                                 telemetry=self.telemetry)
+                                 telemetry=self.telemetry,
+                                 seed=seed)
         self.datanodes: Dict[Host, DataNode] = {
             host: DataNode(self.sim, self.net, host, self.master,
                            self.spec.disk_read_rate, self.spec.disk_write_rate,

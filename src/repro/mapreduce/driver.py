@@ -50,7 +50,8 @@ class JobDriver:
         sim = self.cluster.sim
         job_span = self._tracer.start(
             "job", self.spec.job_id, sim.now,
-            kind_of_job=self.spec.kind, input_bytes=self.spec.input_bytes)
+            kind_of_job=self.spec.kind, input_bytes=self.spec.input_bytes,
+            backend=self.cluster.net.name)
         input_paths = [self.spec.input_path] if not profile.is_generator else []
         yield from self.cluster.stage_job_resources(self.spec, self.client_host)
         for round_index in range(profile.iterations):

@@ -1,0 +1,439 @@
+"""The transport seam: pluggable backends behind one flow interface.
+
+Every layer that produces traffic (HDFS pipelines, shuffle fetchers,
+heartbeats, replay, fault recovery) emits *flow intents* — "move
+``size`` bytes from ``src`` to ``dst``, tell me when done" — against
+the :class:`TransportBackend` interface instead of constructing the
+fluid engine directly.  Which substrate turns intents into timings is
+a per-run configuration choice (``ClusterSpec.backend``, CLI
+``--backend``):
+
+``fluid``
+    The original max-min fair-share engine
+    (:class:`~repro.net.network.FlowNetwork`), unchanged semantics:
+    every arrival/departure re-waterfills rates, completions are exact
+    under the fluid approximation.  The reference substrate.
+
+``analytic``
+    A closed-form per-wave approximation
+    (:class:`AnalyticBackend`): a flow's rate is fixed once, at
+    admission, to its bottleneck share — ``min over links of
+    capacity / concurrent flows`` — and its completion is scheduled
+    immediately.  No global recomputation ever happens, so cost is
+    O(path length) per flow instead of O(active flows × links) per
+    event.  Flow populations (who sends what where) are preserved;
+    *timings* are approximate.  Built for huge what-if campaigns where
+    JCT trends matter and per-flow exactness does not.
+
+``record``
+    A zero-cost intent recorder (:class:`RecordBackend`): flows
+    complete instantly and every intent is logged verbatim.  Feeding a
+    replayed trace through it yields the exact flow schedule needed by
+    the ns-3/OMNeT exporters without paying for a fluid run.
+
+Backends register in :data:`BACKENDS` and are constructed through
+:func:`make_backend`, the single factory used by
+``HadoopCluster``, ``replay_trace`` and the CLI.  Future substrates
+(packet-level, external-simulator bridges) plug in the same way.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+    Type,
+)
+
+from repro.cluster.topology import Host, Topology
+from repro.net.flow import Flow
+from repro.simkit.core import Simulator
+
+#: Completion horizons fire at -1 and process resumes at 0; backend
+#: flushes run after both so a whole same-instant wave shares one rate
+#: decision (mirrors ``repro.net.network._FLUSH_PRIORITY``).
+_WAVE_PRIORITY = 1
+
+
+class TransportBackend(ABC):
+    """What the behaviour layers may assume about a transport substrate.
+
+    The contract, shared by every implementation:
+
+    * :meth:`start_flow` returns a :class:`~repro.net.flow.Flow` whose
+      ``done`` signal fires (with the flow as payload) when the backend
+      decides the transfer has completed.  Host-local transfers
+      (``src == dst``) never touch links and complete at the flow's
+      rate cap.
+    * :meth:`batch` coalesces a synchronous burst of starts (an HDFS
+      pipeline's hops) into one admission decision where the backend
+      has one to make; backends without shared state treat it as a
+      no-op.
+    * :meth:`cancel_flow` abandons an in-flight flow without firing its
+      ``done`` signal (future substrates; nothing in the current
+      behaviour layers cancels).
+    * Completion listeners (:meth:`add_listener`) observe every
+      finished flow — the capture stage's tap — and drained listeners
+      (:meth:`add_drained_listener`) fire whenever a completion leaves
+      the backend with no active flows.
+    * :attr:`perf` exposes cumulative engine counters and
+      :meth:`utilisation` per-link mean utilisation since t=0.
+
+    Subclasses must also keep the observable state probes sample:
+    ``active`` (flow_id → Flow), ``link_bytes``, ``_capacities``,
+    ``completed_count`` and ``total_bytes``.
+    """
+
+    #: Registry name; subclasses override ("fluid", "analytic", ...).
+    name: str = "abstract"
+
+    def __init__(self, sim: Simulator, topology: Topology):
+        self.sim = sim
+        self.topology = topology
+        self.active: Dict[int, Flow] = {}
+        self.completed_count = 0
+        self.total_bytes = 0.0
+        self.link_bytes: Dict[Tuple[object, object], float] = defaultdict(float)
+        self._capacities: Dict[Tuple[object, object], float] = {}
+        self._listeners: List[Callable[[Flow], None]] = []
+        self._drained_listeners: List[Callable[[], None]] = []
+        # Every backend announces itself on the run's registry so
+        # telemetry artefacts (report --telemetry, campaign snapshots)
+        # can distinguish fluid from analytic runs.
+        sim.telemetry.registry.gauge("net.backend", backend=self.name).set(1.0)
+
+    # -- the flow interface ----------------------------------------------------
+
+    @abstractmethod
+    def start_flow(self, src: Host, dst: Host, size: float,
+                   max_rate: Optional[float] = None,
+                   metadata: Optional[Dict[str, Any]] = None,
+                   parent_span=None) -> Flow:
+        """Begin transferring ``size`` bytes from ``src`` to ``dst``."""
+
+    @contextmanager
+    def batch(self):
+        """Coalesce flows started inside the block (default: no-op)."""
+        yield self
+
+    def cancel_flow(self, flow: Flow) -> bool:
+        """Abandon an active flow; its ``done`` signal never fires.
+
+        Returns True when the flow was active and is now cancelled.
+        """
+        if flow.flow_id not in self.active:
+            return False
+        del self.active[flow.flow_id]
+        flow.rate = 0.0
+        return True
+
+    # -- listeners -------------------------------------------------------------
+
+    def add_listener(self, callback: Callable[[Flow], None]) -> None:
+        """Register a callback invoked with every completed flow."""
+        self._listeners.append(callback)
+
+    def add_drained_listener(self, callback: Callable[[], None]) -> None:
+        """Register a callback fired when the active flow set empties."""
+        self._drained_listeners.append(callback)
+
+    def _finish(self, flow: Flow) -> None:
+        """Shared completion tail: listeners + drained notification."""
+        flow.done.fire(flow)
+        for listener in self._listeners:
+            listener(flow)
+        if not self.active:
+            for listener in self._drained_listeners:
+                listener()
+
+    # -- observation -----------------------------------------------------------
+
+    @property
+    @abstractmethod
+    def perf(self) -> Dict[str, float]:
+        """Cumulative engine performance counters."""
+
+    def utilisation(self, link: Tuple[object, object]) -> float:
+        """Mean utilisation of a directed link since t=0 (fraction)."""
+        if self.sim.now <= 0:
+            return 0.0
+        capacity = self._capacities.get(link)
+        if capacity is None:
+            capacity = self.topology.capacity(*link)
+        return self.link_bytes.get(link, 0.0) / (capacity * self.sim.now)
+
+
+class AnalyticBackend(TransportBackend):
+    """Closed-form bottleneck-share approximation of the fluid engine.
+
+    A flow admitted at time *t* gets the rate ``min over its links of
+    capacity(link) / active(link)`` — its max-min share *if* every link
+    were its bottleneck and the competitor set frozen — capped by
+    ``max_rate``, and completes exactly ``size / rate`` later.  Flows
+    starting at the same instant form one *wave*: admission is deferred
+    to a zero-delay flush so the whole wave sees the same concurrency
+    counts (including each other), mirroring the fluid engine's
+    same-timestamp batching.
+
+    What this drops, deliberately: rates are never revised when
+    competitors arrive or leave, so a flow that outlives its wave keeps
+    its admission-time share (pessimistic) and one that gains company
+    keeps its solo rate (optimistic).  Flow populations are identical
+    to fluid — the behaviour layers emit the same intents — while
+    completion times carry the approximation error.  In exchange the
+    cost per flow is O(path length), with no global state to
+    re-waterfill: the engine that makes thousand-point what-if sweeps
+    affordable.
+
+    ``hop_latency`` keeps the fluid engine's connection-setup semantics
+    (1.5 RTTs before bytes move) so analytic JCTs stay comparable.
+    """
+
+    name = "analytic"
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 hop_latency: float = 0.0, **_ignored: Any):
+        if hop_latency < 0:
+            raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
+        super().__init__(sim, topology)
+        self.hop_latency = hop_latency
+        self._flow_ids = itertools.count(1)
+        self._link_active: Dict[Tuple[object, object], int] = defaultdict(int)
+        self._wave: List[Flow] = []
+        self._wave_event = None
+        self._batch_depth = 0
+        registry = sim.telemetry.registry
+        self._tracer = sim.telemetry.tracer
+        self._c_flows_started = registry.counter("net.flows_started")
+        self._c_flows_completed = registry.counter("net.flows_completed")
+        self._c_bytes_completed = registry.counter("net.bytes_completed")
+        self._c_waves = registry.counter("net.waves")
+        registry.gauge("net.active_flows", fn=lambda: len(self.active))
+
+    @property
+    def perf(self) -> Dict[str, float]:
+        return {
+            "waves": int(self._c_waves.value),
+            "flows_started": int(self._c_flows_started.value),
+            "flows_completed": int(self._c_flows_completed.value),
+        }
+
+    # -- flow lifecycle --------------------------------------------------------
+
+    def start_flow(self, src: Host, dst: Host, size: float,
+                   max_rate: Optional[float] = None,
+                   metadata: Optional[Dict[str, Any]] = None,
+                   parent_span=None) -> Flow:
+        done = self.sim.signal(name="flow.done")
+        flow = Flow(src, dst, size, done, max_rate=max_rate,
+                    metadata=metadata, flow_id=next(self._flow_ids))
+        flow.span_parent = parent_span
+        self._c_flows_started.value += 1
+        flow.start_time = self.sim.now
+        flow.last_update = self.sim.now
+        if flow.local or size == 0:
+            delay = 0.0 if size == 0 or max_rate is None else size / max_rate
+            self.sim.schedule(delay, self._complete, flow)
+            return flow
+        flow.path = self.topology.path(src, dst)
+        flow.links = self.topology.edges_on_path(flow.path)
+        for link in flow.links:
+            if link not in self._capacities:
+                self._capacities[link] = self.topology.capacity(*link)
+        if self.hop_latency > 0:
+            setup = 1.5 * (2.0 * len(flow.links) * self.hop_latency)
+            self.sim.schedule(setup, self._admit, flow)
+        else:
+            self._admit(flow)
+        return flow
+
+    @contextmanager
+    def batch(self):
+        """Defer wave admission until the burst finishes (no time passes)."""
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self._wave and self._wave_event is None:
+                self._wave_event = self.sim.schedule(
+                    0.0, self._admit_wave, priority=_WAVE_PRIORITY)
+
+    def _admit(self, flow: Flow) -> None:
+        flow.last_update = self.sim.now
+        self.active[flow.flow_id] = flow
+        for link in flow.links:
+            self._link_active[link] += 1
+        self._wave.append(flow)
+        if self._batch_depth == 0 and self._wave_event is None:
+            self._wave_event = self.sim.schedule(
+                0.0, self._admit_wave, priority=_WAVE_PRIORITY)
+
+    def _admit_wave(self) -> None:
+        """Fix the whole wave's rates from current concurrency, once."""
+        self._wave_event = None
+        self._c_waves.value += 1
+        wave, self._wave = self._wave, []
+        link_active = self._link_active
+        capacities = self._capacities
+        for flow in wave:
+            if flow.flow_id not in self.active:
+                continue  # cancelled between admission and flush
+            rate = min(capacities[link] / link_active[link]
+                       for link in flow.links)
+            if flow.max_rate is not None:
+                rate = min(rate, flow.max_rate)
+            flow.rate = rate
+            self.sim.schedule(flow.size / rate, self._complete, flow,
+                              priority=-1)
+
+    def cancel_flow(self, flow: Flow) -> bool:
+        if not super().cancel_flow(flow):
+            return False
+        for link in flow.links:
+            self._link_active[link] -= 1
+        return True
+
+    def _complete(self, flow: Flow) -> None:
+        if not flow.local and flow.size > 0:
+            if flow.flow_id not in self.active:
+                return  # cancelled while in flight
+            del self.active[flow.flow_id]
+            for link in flow.links:
+                self._link_active[link] -= 1
+                self.link_bytes[link] += flow.size
+        flow.remaining = 0.0
+        flow.rate = 0.0
+        flow.end_time = self.sim.now
+        self.completed_count += 1
+        self.total_bytes += flow.size
+        self._c_flows_completed.value += 1
+        self._c_bytes_completed.value += flow.size
+        if self._tracer.enabled:
+            self._tracer.emit(
+                "flow", f"flow[{flow.flow_id}]",
+                flow.start_time, self.sim.now,
+                parent=flow.span_parent,
+                src=flow.src.name, dst=flow.dst.name, size=flow.size,
+                component=flow.metadata.get("component", ""),
+                local=flow.local)
+        self._finish(flow)
+
+
+class FlowIntent:
+    """One recorded flow intent: what was asked of the transport."""
+
+    __slots__ = ("flow_id", "start", "src", "dst", "size", "max_rate",
+                 "metadata")
+
+    def __init__(self, flow_id: int, start: float, src: Host, dst: Host,
+                 size: float, max_rate: Optional[float],
+                 metadata: Dict[str, Any]):
+        self.flow_id = flow_id
+        self.start = start
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.max_rate = max_rate
+        self.metadata = metadata
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"flow_id": self.flow_id, "start": self.start,
+                "src": self.src.name, "dst": self.dst.name,
+                "size": self.size, "max_rate": self.max_rate,
+                "metadata": dict(self.metadata)}
+
+
+class RecordBackend(TransportBackend):
+    """Zero-cost substrate: log every intent, complete flows instantly.
+
+    No rates, no links, no contention — a flow's ``done`` fires one
+    zero-delay event after its start, so the behaviour layers run at
+    compute-bound speed and the backend's :attr:`intents` stream holds
+    the exact flow schedule they emitted.  Replaying a trace through
+    this backend reproduces the trace's own schedule verbatim (replay
+    schedules each flow at its recorded start time), which is all the
+    ns-3/OMNeT/CSV exporters need.  Durations in a record-backend
+    capture are degenerate (end == start) by construction.
+    """
+
+    name = "record"
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 **_ignored: Any):
+        super().__init__(sim, topology)
+        self._flow_ids = itertools.count(1)
+        self.intents: List[FlowIntent] = []
+        registry = sim.telemetry.registry
+        self._c_intents = registry.counter("net.intents_recorded")
+        registry.gauge("net.active_flows", fn=lambda: len(self.active))
+
+    @property
+    def perf(self) -> Dict[str, float]:
+        return {"intents_recorded": int(self._c_intents.value)}
+
+    def start_flow(self, src: Host, dst: Host, size: float,
+                   max_rate: Optional[float] = None,
+                   metadata: Optional[Dict[str, Any]] = None,
+                   parent_span=None) -> Flow:
+        done = self.sim.signal(name="flow.done")
+        flow = Flow(src, dst, size, done, max_rate=max_rate,
+                    metadata=metadata, flow_id=next(self._flow_ids))
+        flow.span_parent = parent_span
+        flow.start_time = self.sim.now
+        flow.last_update = self.sim.now
+        self.intents.append(FlowIntent(flow.flow_id, self.sim.now, src, dst,
+                                       float(size), max_rate, flow.metadata))
+        self._c_intents.value += 1
+        self.active[flow.flow_id] = flow
+        self.sim.schedule(0.0, self._complete, flow)
+        return flow
+
+    def _complete(self, flow: Flow) -> None:
+        if self.active.pop(flow.flow_id, None) is None:
+            return  # cancelled
+        flow.remaining = 0.0
+        flow.end_time = self.sim.now
+        self.completed_count += 1
+        self.total_bytes += flow.size
+        self._finish(flow)
+
+
+# -- factory -------------------------------------------------------------------------
+
+#: name → backend class.  ``fluid`` is registered lazily by
+#: :func:`make_backend` to keep this module import-light.
+BACKENDS: Dict[str, Type[TransportBackend]] = {
+    AnalyticBackend.name: AnalyticBackend,
+    RecordBackend.name: RecordBackend,
+}
+
+#: The names :func:`make_backend` accepts (CLI choices, config checks).
+BACKEND_NAMES = ("fluid", "analytic", "record")
+
+
+def make_backend(name: str, sim: Simulator, topology: Topology,
+                 **cfg: Any) -> TransportBackend:
+    """Construct the transport backend ``name`` over ``topology``.
+
+    ``cfg`` passes substrate-specific knobs through (``hop_latency``,
+    ``batch_updates`` for fluid); backends ignore knobs they do not
+    have.  Unknown names raise ``ValueError`` listing the registry.
+    """
+    if "fluid" not in BACKENDS:
+        from repro.net.network import FlowNetwork
+
+        BACKENDS["fluid"] = FlowNetwork
+    backend_cls = BACKENDS.get(name)
+    if backend_cls is None:
+        known = ", ".join(sorted(set(BACKENDS) | set(BACKEND_NAMES)))
+        raise ValueError(f"unknown transport backend {name!r}; known: {known}")
+    return backend_cls(sim, topology, **cfg)

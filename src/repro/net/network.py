@@ -43,11 +43,11 @@ the whole fluid engine live on :attr:`FlowNetwork.perf`.
 from __future__ import annotations
 
 import itertools
-from collections import defaultdict
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, Optional
 
 from repro.cluster.topology import Host, Topology
+from repro.net.backend import TransportBackend
 from repro.net.fairshare import FairShareAllocator
 from repro.net.flow import Flow
 from repro.simkit.core import Event, Simulator
@@ -61,8 +61,11 @@ _DONE_EPS_BYTES = 0.5
 _FLUSH_PRIORITY = 1
 
 
-class FlowNetwork:
+class FlowNetwork(TransportBackend):
     """Flow-level network over a :class:`~repro.cluster.topology.Topology`.
+
+    The reference (and default) :class:`~repro.net.backend.
+    TransportBackend`, registered as ``fluid``.
 
     ``hop_latency`` (seconds per hop, default 0) adds a connection-setup
     delay of 1.5 RTTs before a flow starts moving bytes — the TCP
@@ -74,29 +77,24 @@ class FlowNetwork:
     of rate recomputations; see the module docstring.
     """
 
+    name = "fluid"
+
     def __init__(self, sim: Simulator, topology: Topology,
                  hop_latency: float = 0.0, batch_updates: bool = True):
         if hop_latency < 0:
             raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
-        self.sim = sim
-        self.topology = topology
+        super().__init__(sim, topology)
         self.hop_latency = hop_latency
         self.batch_updates = batch_updates
-        self.active: Dict[int, Flow] = {}
         # Per-network flow ids: simulations are reproducible no matter
         # how many flows earlier clusters in this process created.
         self._flow_ids = itertools.count(1)
-        self.completed_count = 0
-        self.total_bytes = 0.0
-        self.link_bytes: Dict[Tuple[object, object], float] = defaultdict(float)
-        self._capacities: Dict[Tuple[object, object], float] = {}
         self._allocator = FairShareAllocator()
         self._completion_event: Optional[Event] = None
         self._flush_event: Optional[Event] = None
         self._batch_depth = 0
         self._batch_dirty = False
         self._last_progress = -1.0
-        self._listeners: List[Callable[[Flow], None]] = []
         # Perf counters live on the simulator's telemetry registry
         # (the old ``net.perf`` attributes survive as properties); the
         # allocator keeps plain ints and is exposed via callback gauges.
@@ -145,19 +143,6 @@ class FlowNetwork:
     @property
     def flows_batched(self) -> int:
         return int(self._c_batched.value)
-
-    def add_listener(self, callback: Callable[[Flow], None]) -> None:
-        """Register a callback invoked with every completed flow."""
-        self._listeners.append(callback)
-
-    def utilisation(self, link: Tuple[object, object]) -> float:
-        """Mean utilisation of a directed link since t=0 (fraction)."""
-        if self.sim.now <= 0:
-            return 0.0
-        capacity = self._capacities.get(link)
-        if capacity is None:
-            capacity = self.topology.capacity(*link)
-        return self.link_bytes.get(link, 0.0) / (capacity * self.sim.now)
 
     # -- flow lifecycle -------------------------------------------------------
 
@@ -232,9 +217,24 @@ class FlowNetwork:
         self.completed_count += 1
         self.total_bytes += flow.size
         self._note_completed(flow)
-        flow.done.fire(flow)
-        for listener in self._listeners:
-            listener(flow)
+        self._finish(flow)
+
+    def cancel_flow(self, flow: Flow) -> bool:
+        """Abandon an in-flight flow; its ``done`` signal never fires.
+
+        The flow leaves the allocator immediately, so the freed share
+        is redistributed at the next (coalesced) rate recomputation.
+        """
+        if flow.flow_id not in self.active:
+            return False
+        # Competitors' progress under the pre-cancellation rates is
+        # banked before the allocator changes shape.
+        self._advance_progress()
+        del self.active[flow.flow_id]
+        self._allocator.remove_flow(flow.flow_id)
+        flow.rate = 0.0
+        self._request_update()
+        return True
 
     def _note_completed(self, flow: Flow) -> None:
         self._c_flows_completed.value += 1
@@ -341,6 +341,4 @@ class FlowNetwork:
             self.completed_count += 1
             self.total_bytes += flow.size
             self._note_completed(flow)
-            flow.done.fire(flow)
-            for listener in self._listeners:
-                listener(flow)
+            self._finish(flow)

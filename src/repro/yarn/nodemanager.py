@@ -7,7 +7,7 @@ from typing import Set
 from repro.capture.records import TrafficComponent
 from repro.cluster import ports
 from repro.cluster.topology import Host
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 from repro.simkit.core import Simulator
 from repro.yarn.containers import Container, Resources
 from repro.yarn.resourcemanager import ResourceManager
@@ -21,7 +21,7 @@ class NodeManager:
     to the RM tracker port and triggers an allocation round.
     """
 
-    def __init__(self, sim: Simulator, net: FlowNetwork, host: Host,
+    def __init__(self, sim: Simulator, net: TransportBackend, host: Host,
                  rm: ResourceManager, capacity: Resources,
                  heartbeat_interval: float = 1.0, phase: float = 0.0,
                  heartbeat_bytes: int = 512):

@@ -8,7 +8,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 from repro.capture.records import TrafficComponent
 from repro.cluster import ports
 from repro.cluster.topology import Host
-from repro.net.network import FlowNetwork
+from repro.net.backend import TransportBackend
 from repro.simkit.core import Simulator
 from repro.yarn.containers import Container, Resources
 from repro.yarn.schedulers.base import AppUsage, Scheduler
@@ -47,7 +47,7 @@ class ResourceManager:
     start times (and hence the HDFS-read flow arrival process).
     """
 
-    def __init__(self, sim: Simulator, net: FlowNetwork, host: Host,
+    def __init__(self, sim: Simulator, net: TransportBackend, host: Host,
                  scheduler: Scheduler):
         self.sim = sim
         self.net = net

@@ -1,0 +1,187 @@
+"""Differential suite: the transport backends against each other.
+
+The contract under test (DESIGN.md "Transport backends"):
+
+* ``analytic`` reproduces the fluid backend's *flow population* —
+  count, size, endpoints and component tag of every data-plane flow —
+  exactly at timing-stable points (``placement_mode="keyed"``, enough
+  container slots for a single map wave), while only approximating
+  flow timings and therefore JCT.
+* ``record`` replays a trace's schedule at zero cost, and its output
+  round-trips through the ns-3/CSV exporters byte-for-byte.
+* store keys separate backends; the logical key (and hence the job's
+  RNG streams) does not.
+
+JCT tolerance band: the analytic approximation holds rates fixed per
+admission wave, so completion times drift from the fluid reference.
+Observed relative error on the pinned points is 0.2%–15%; the asserted
+band is 25% to stay stable across refactors without letting the
+approximation rot silently.
+"""
+
+import collections
+
+import pytest
+
+from repro.capture.records import JobTrace
+from repro.experiments.campaigns import CampaignConfig
+from repro.experiments.runner import CapturePoint
+from repro.generation.export import to_flow_schedule_csv, to_ns3_script
+from repro.generation.replay import replay_trace
+from repro.obs import Telemetry
+
+JCT_TOLERANCE = 0.25
+
+#: Timing-stable campaign: keyed (AM + reducer) placement and enough
+#: containers that every map is granted before the first completion —
+#: the configuration under which the analytic backend guarantees an
+#: identical flow population (see DESIGN.md).
+STABLE = dict(nodes=16, num_reducers=16, containers_per_node=10,
+              placement_mode="keyed")
+
+POINTS = [("terasort", 1.0, 42), ("grep", 1.0, 42), ("wordcount", 1.0, 42)]
+
+
+def capture(backend, job, input_gb, seed):
+    point = CapturePoint.from_campaign(
+        job, input_gb, seed, CampaignConfig(backend=backend, **STABLE))
+    return point.simulate()
+
+
+def population(trace):
+    """The data-plane flow population: everything but timing."""
+    return collections.Counter(
+        (flow.src, flow.dst, round(flow.size, 6), flow.component)
+        for flow in trace.flows if flow.component != "control")
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for job, input_gb, seed in POINTS:
+        out[job] = {backend: capture(backend, job, input_gb, seed)
+                    for backend in ("fluid", "analytic")}
+    return out
+
+
+@pytest.mark.parametrize("job", [job for job, _, _ in POINTS])
+def test_analytic_flow_population_identical(runs, job):
+    _, fluid = runs[job]["fluid"]
+    _, analytic = runs[job]["analytic"]
+    assert population(fluid) == population(analytic)
+
+
+@pytest.mark.parametrize("job", [job for job, _, _ in POINTS])
+def test_analytic_flow_count_and_bytes_identical(runs, job):
+    _, fluid = runs[job]["fluid"]
+    _, analytic = runs[job]["analytic"]
+    # Control flows are excluded: heartbeats tick for as long as the
+    # job runs, and run length is exactly what analytic approximates.
+    data = lambda tr: [f for f in tr.flows if f.component != "control"]
+    assert len(data(fluid)) == len(data(analytic))
+    assert sum(f.size for f in data(fluid)) == \
+        pytest.approx(sum(f.size for f in data(analytic)), rel=1e-9)
+
+
+@pytest.mark.parametrize("job", [job for job, _, _ in POINTS])
+def test_analytic_jct_within_tolerance(runs, job):
+    fluid_result, _ = runs[job]["fluid"]
+    analytic_result, _ = runs[job]["analytic"]
+    fluid_jct = fluid_result.completion_time
+    analytic_jct = analytic_result.completion_time
+    assert fluid_jct > 0
+    assert abs(analytic_jct - fluid_jct) / fluid_jct < JCT_TOLERANCE
+
+
+def test_analytic_timings_actually_differ(runs):
+    # Guard against the suite silently comparing fluid to itself: the
+    # analytic backend is an approximation, so *some* flow end time
+    # must differ even though the population matches.
+    _, fluid = runs["terasort"]["fluid"]
+    _, analytic = runs["terasort"]["analytic"]
+    assert any(abs(a.end - b.end) > 1e-9
+               for a, b in zip(fluid.flows, analytic.flows))
+
+
+# -- record backend: exporter round-trip -----------------------------------------
+
+
+def test_record_replay_round_trips_exports(runs, tmp_path):
+    """Replaying a fluid trace through ``record`` re-emits the same
+    schedule, so the ns-3/CSV exports are byte-identical to exporting
+    the fluid trace directly — the "export without a fluid run" path.
+    """
+    _, fluid = runs["terasort"]["fluid"]
+    report = replay_trace(fluid, backend="record")
+    assert report.flow_count == len(fluid.flows)
+    replayed = JobTrace(meta=fluid.meta, flows=report.records)
+
+    direct_csv, via_record_csv = tmp_path / "a.csv", tmp_path / "b.csv"
+    assert to_flow_schedule_csv(fluid, direct_csv) == \
+        to_flow_schedule_csv(replayed, via_record_csv)
+    assert direct_csv.read_bytes() == via_record_csv.read_bytes()
+
+    direct_ns3, via_record_ns3 = tmp_path / "a.cc", tmp_path / "b.cc"
+    assert to_ns3_script(fluid, direct_ns3) == \
+        to_ns3_script(replayed, via_record_ns3)
+    assert direct_ns3.read_bytes() == via_record_ns3.read_bytes()
+
+
+def test_record_replay_is_zero_cost(runs):
+    _, fluid = runs["terasort"]["fluid"]
+    report = replay_trace(fluid, backend="record")
+    # Flows complete instantly: the replay's makespan collapses to the
+    # schedule's span, with no transfer time added on top.
+    last_start = max(f.start for f in fluid.flows) - \
+        min(f.start for f in fluid.flows)
+    assert report.makespan <= last_start + 1e-6
+    assert all(duration == pytest.approx(0.0) for duration in
+               report.flow_durations)
+
+
+# -- store-key isolation ---------------------------------------------------------
+
+
+def _point(backend, placement_mode="keyed"):
+    config = CampaignConfig(backend=backend, nodes=16, num_reducers=16,
+                            containers_per_node=10,
+                            placement_mode=placement_mode)
+    return CapturePoint.from_campaign("terasort", 1.0, 42, config)
+
+
+def test_store_keys_separate_backends():
+    keys = {backend: _point(backend).key()
+            for backend in ("fluid", "analytic", "record")}
+    assert len(set(keys.values())) == 3
+
+
+def test_logical_key_shared_across_backends():
+    logical = {backend: _point(backend).logical_key()
+               for backend in ("fluid", "analytic", "record")}
+    assert len(set(logical.values())) == 1
+    # ... and it is what seeds the job id, so all backends run the
+    # same RNG streams.
+    assert _point("fluid").key() != _point("fluid").logical_key()
+
+
+def test_key_dict_carries_backend_discriminator():
+    assert _point("analytic").key_dict()["backend"] == "analytic"
+
+
+def test_placement_mode_is_part_of_the_key():
+    assert _point("fluid", "keyed").key() != _point("fluid", "grant").key()
+
+
+# -- telemetry -------------------------------------------------------------------
+
+
+def test_backend_visible_in_telemetry():
+    telemetry = Telemetry.enabled_in_memory()
+    point = CapturePoint.from_campaign(
+        "grep", 0.25, 3, CampaignConfig(backend="analytic", nodes=4))
+    point.simulate(telemetry=telemetry)
+    gauge = telemetry.registry.get("net.backend", backend="analytic")
+    assert gauge is not None and gauge.value == 1.0
+    jobs = [span for span in telemetry.spans if span.kind == "job"]
+    assert jobs and all(span.attrs.get("backend") == "analytic"
+                        for span in jobs)

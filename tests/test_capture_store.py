@@ -259,3 +259,45 @@ def test_store_from_env(tmp_path):
     store = store_from_env({STORE_ENV_VAR: str(tmp_path / "s")})
     assert isinstance(store, CaptureStore)
     assert store.root == tmp_path / "s"
+
+
+# -- cross-backend isolation --------------------------------------------------------
+
+
+def test_store_isolates_backends(tmp_path):
+    """One store, one workload, two backends: two separate entries.
+
+    A fluid capture must never satisfy an analytic lookup (or vice
+    versa) — their flow *timings* differ even when the populations
+    match — so the backend is a first-class key axis.
+    """
+    store = CaptureStore(tmp_path / "store")
+    fluid = CapturePoint.from_campaign(
+        "grep", 0.0625, 11, CampaignConfig(nodes=4, hosts_per_rack=2,
+                                           backend="fluid"))
+    analytic = CapturePoint.from_campaign(
+        "grep", 0.0625, 11, CampaignConfig(nodes=4, hosts_per_rack=2,
+                                           backend="analytic"))
+    assert fluid.key() != analytic.key()
+
+    runner = CampaignRunner(store=store, workers=1)
+    runner.run_point(fluid)
+    assert store.get(fluid.key_dict()) is not None
+    assert store.get(analytic.key_dict()) is None  # no cross-pollination
+
+    runner.run_point(analytic)
+    assert store.get(analytic.key_dict()) is not None
+    # Both entries coexist under the same logical workload.
+    assert fluid.logical_key() == analytic.logical_key()
+
+
+def test_store_isolates_placement_modes(tmp_path):
+    store = CaptureStore(tmp_path / "store")
+    grant = CapturePoint.from_campaign(
+        "grep", 0.0625, 11, CampaignConfig(nodes=4, hosts_per_rack=2))
+    keyed = CapturePoint.from_campaign(
+        "grep", 0.0625, 11, CampaignConfig(nodes=4, hosts_per_rack=2,
+                                           placement_mode="keyed"))
+    assert grant.key() != keyed.key()
+    CampaignRunner(store=store, workers=1).run_point(grant)
+    assert store.get(keyed.key_dict()) is None
