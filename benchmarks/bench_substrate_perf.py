@@ -14,6 +14,7 @@ from repro.cluster.topology import build_topology
 from repro.cluster.units import MB
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
+from repro.net.backend import ENGINE_NAMES
 from repro.net.fairshare import FairShareAllocator, max_min_rates
 from repro.simkit import Simulator
 
@@ -123,6 +124,45 @@ def test_perf_full_job_simulation(benchmark):
     # and a visible number of same-instant updates folded together.
     assert perf["net.recomputes"] <= perf["net.flushes"]
     assert perf["net.flows_batched"] > 0
+
+
+def test_perf_engine_sweep_full_job(benchmark):
+    """The full-job capture swept across both fluid engines.
+
+    An 8-node job is scalar's home turf (below a few hundred
+    concurrent flows the numpy per-call overhead exceeds the dict
+    work it replaces — the scale rungs live in bench_vectorized.py),
+    so this asserts equivalence rather than speed: both engines must
+    do identical allocator work — same recomputes, same bottleneck
+    rounds, same flow population — and the per-engine counters are
+    printed so the BENCH trajectory tracks both engines' efficiency.
+    """
+    reports = {}
+    flow_counts = {}
+
+    def sweep():
+        for engine in ENGINE_NAMES:
+            cluster = HadoopCluster(
+                ClusterSpec(num_nodes=8, hosts_per_rack=4, engine=engine),
+                HadoopConfig(block_size=32 * MB, num_reducers=4), seed=1)
+            _, traces = cluster.run(
+                [make_job("terasort", input_gb=0.5, job_id="perf")])
+            reports[engine] = cluster.perf_report()
+            flow_counts[engine] = traces[0].flow_count()
+        return flow_counts
+
+    benchmark(sweep)
+    print("\nfluid engine counters (one run each):")
+    for engine in ENGINE_NAMES:
+        report = reports[engine]
+        print(f"  {engine}: recomputes={report['net.recomputes']} "
+              f"waterfill_rounds={report['net.waterfill_rounds']} "
+              f"flushes={report['net.flushes']} "
+              f"allocator_seconds={report['net.allocator_seconds']:.4f}")
+    assert flow_counts["scalar"] == flow_counts["vectorized"]
+    for key in ("net.recomputes", "net.waterfill_rounds", "net.flushes",
+                "net.flows_batched"):
+        assert reports["scalar"][key] == reports["vectorized"][key], key
 
 
 def test_perf_topology_routing(benchmark):

@@ -43,7 +43,14 @@ KEDDAH_TEST_TIMEOUT="${KEDDAH_TEST_TIMEOUT:-120}" python -m pytest -x -q "$@"
 echo "== transport-backend differential suite =="
 python -m pytest tests/test_backend_differential.py tests/test_net_backend.py -q
 
-# 5. Telemetry null-path smoke: an un-configured run must emit zero
+# 5. Fluid-engine differential gate: the vectorized engine must keep
+#    agreeing with the scalar oracle — bitwise on randomized fabrics,
+#    byte-identical on a seeded capture — and the engine axis must
+#    keep validating at every entry point.  Both engines run here.
+echo "== fluid-engine differential suite =="
+python -m pytest tests/test_fairshare_incremental.py tests/test_engine_axis.py -q
+
+# 6. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.
 echo "== telemetry null-path smoke =="
 python - <<'EOF'

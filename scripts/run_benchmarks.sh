@@ -15,6 +15,10 @@
 #   BENCH_backends.json  — transport backends: fluid vs analytic wall-clock
 #                          on the E12-style scaling campaign, flow-population
 #                          identity asserted (benchmarks/bench_backends.py)
+#   BENCH_vectorized.json — fluid engines: vectorized vs scalar water-filling
+#                          on 64/256/1024-host fat-tree wave workloads, with
+#                          per-rung speedups, byte-identity flags and a
+#                          >=1e6-flow scale run (benchmarks/bench_vectorized.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -53,5 +57,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_backends.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_vectorized.py \
     -m benchmark_suite \
     -q -s "$@"

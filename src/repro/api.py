@@ -38,6 +38,7 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
                 hosts_per_rack: int = 4,
                 telemetry: Optional[Telemetry] = None,
                 backend: Optional[str] = None,
+                engine: Optional[str] = None,
                 **job_kwargs) -> JobTrace:
     """Run one job on a fresh simulated cluster; return its capture.
 
@@ -48,13 +49,16 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
     ``telemetry`` (e.g. ``Telemetry.enabled_in_memory()``) observes the
     run without changing the captured bytes.  ``backend`` selects the
     transport substrate (``fluid``/``analytic``/``record``, see
-    :mod:`repro.net.backend`); it overrides ``cluster_spec.backend``
-    when given.
+    :mod:`repro.net.backend`); ``engine`` the fluid implementation
+    (``scalar``/``vectorized``, bit-identical results).  Either
+    overrides the corresponding ``cluster_spec`` field when given.
     """
     spec = cluster_spec or ClusterSpec(num_nodes=nodes,
                                        hosts_per_rack=hosts_per_rack)
     if backend is not None and backend != spec.backend:
         spec = replace(spec, backend=backend)
+    if engine is not None and engine != spec.engine:
+        spec = replace(spec, engine=engine)
     cluster = HadoopCluster(spec, config or HadoopConfig(), seed=seed,
                             telemetry=telemetry)
     job_spec = make_job(job, input_gb=input_gb, **job_kwargs)
@@ -67,6 +71,7 @@ def run_capture_campaign(job: str, input_sizes_gb: Sequence[float],
                          config: Optional[HadoopConfig] = None,
                          workers: int = 1,
                          backend: str = "fluid",
+                         engine: str = "scalar",
                          **job_kwargs) -> List[JobTrace]:
     """Capture one job kind across input sizes (the paper's sweep unit).
 
@@ -82,7 +87,8 @@ def run_capture_campaign(job: str, input_sizes_gb: Sequence[float],
     from repro.experiments.campaigns import make_runner
     from repro.experiments.runner import CapturePoint, derive_seed
 
-    spec = ClusterSpec(num_nodes=nodes, hosts_per_rack=4, backend=backend)
+    spec = ClusterSpec(num_nodes=nodes, hosts_per_rack=4, backend=backend,
+                       engine=engine)
     hadoop = config or HadoopConfig()
     points = [CapturePoint.from_configs(
                   job, input_gb, derive_seed(seed, size_index, repeat),

@@ -37,7 +37,7 @@ from repro.generation.generator import generate_trace
 from repro.generation.replay import replay_trace
 from repro.jobs import job_catalog
 from repro.modeling.model import JobTrafficModel, fit_job_model
-from repro.net.backend import BACKEND_NAMES
+from repro.net.backend import BACKEND_NAMES, ENGINE_NAMES
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,6 +60,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="transport substrate: fluid (exact), analytic "
                               "(fast approximate timings), record (intent "
                               "log, degenerate timings)")
+    capture.add_argument("--engine", default="scalar",
+                         choices=list(ENGINE_NAMES),
+                         help="fluid-engine implementation: scalar "
+                              "(reference) or vectorized (numpy, "
+                              "byte-identical captures, faster at scale)")
     capture.add_argument("--scheduler", default="fifo",
                          choices=["fifo", "fair", "capacity", "drf"])
     capture.add_argument("-o", "--output", required=True,
@@ -94,6 +99,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="transport substrate for every point "
                                "(store keys include it, so analytic and "
                                "fluid sweeps never alias)")
+    campaign.add_argument("--engine", default="scalar",
+                          choices=list(ENGINE_NAMES),
+                          help="fluid-engine implementation for every point "
+                               "(store keys exclude it: scalar and "
+                               "vectorized captures are byte-identical)")
     campaign.add_argument("--scheduler", default="fifo",
                           choices=["fifo", "fair", "capacity", "drf"])
     campaign.add_argument("--workers", type=int, default=1,
@@ -168,6 +178,9 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--backend", default="fluid",
                         choices=list(BACKEND_NAMES),
                         help="transport substrate to replay against")
+    replay.add_argument("--engine", default="scalar",
+                        choices=list(ENGINE_NAMES),
+                        help="fluid-engine implementation to replay with")
 
     export = sub.add_parser("export", help="export a trace for a simulator")
     export.add_argument("trace")
@@ -294,7 +307,7 @@ def cmd_capture(args: argparse.Namespace) -> int:
 
         spec = ClusterSpec(num_nodes=args.nodes,
                            hosts_per_rack=args.hosts_per_rack,
-                           backend=args.backend)
+                           backend=args.backend, engine=args.engine)
         point = CapturePoint.from_configs(args.job, args.input_gb, args.seed,
                                           spec, config)
         _, trace = CampaignRunner(store=store,
@@ -304,7 +317,8 @@ def cmd_capture(args: argparse.Namespace) -> int:
         trace = run_capture(args.job, input_gb=args.input_gb, nodes=args.nodes,
                             seed=args.seed, config=config,
                             hosts_per_rack=args.hosts_per_rack,
-                            telemetry=telemetry, backend=args.backend)
+                            telemetry=telemetry, backend=args.backend,
+                            engine=args.engine)
         origin = "simulated"
     trace.to_jsonl(args.output)
     print(f"captured {trace.flow_count()} flows "
@@ -350,7 +364,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                               num_reducers=args.reducers,
                               replication=args.replication,
                               scheduler=args.scheduler,
-                              backend=args.backend)
+                              backend=args.backend,
+                              engine=args.engine)
     store = _resolve_store(args.store)
     if args.invalidate:
         if store is None:
@@ -529,7 +544,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_replay(args: argparse.Namespace) -> int:
     trace = JobTrace.from_jsonl(args.trace)
     report = replay_trace(trace, time_scale=args.time_scale,
-                          backend=args.backend)
+                          backend=args.backend, engine=args.engine)
     table = Table(title=f"replay of {args.trace}",
                   headers=["metric", "value"])
     table.add_row("flows", report.flow_count)

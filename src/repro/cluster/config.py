@@ -44,6 +44,10 @@ class ClusterSpec:
     # approximation) or "record" (zero-cost intent recorder).  See
     # repro.net.backend.
     backend: str = "fluid"
+    # Fluid-engine implementation: "scalar" (dict/heap reference) or
+    # "vectorized" (numpy arrays; same water-filling, bit-identical
+    # captures, faster at scale).  Ignored by non-fluid backends.
+    engine: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1:
@@ -59,17 +63,25 @@ class ClusterSpec:
         if self.node_speed_sigma < 0:
             raise ValueError("node_speed_sigma must be >= 0")
         # Lazy import: cluster.config must stay importable from repro.net.
-        from repro.net.backend import BACKEND_NAMES
+        from repro.net.backend import BACKEND_NAMES, ENGINE_NAMES
         if self.backend not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}")
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINE_NAMES}")
 
     @property
     def num_racks(self) -> int:
         return (self.num_nodes + self.hosts_per_rack - 1) // self.hosts_per_rack
 
     def to_dict(self) -> Dict[str, Any]:
-        return asdict(self)
+        # The engine is deliberately omitted: scalar and vectorized
+        # produce byte-identical captures, so traces and store keys
+        # must not fork on which one happened to run.
+        data = asdict(self)
+        data.pop("engine", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ClusterSpec":

@@ -62,6 +62,10 @@ class CampaignConfig:
     speculative: bool = False
     backend: str = "fluid"
     placement_mode: str = "grant"
+    # Fluid-engine implementation (scalar/vectorized).  Not part of
+    # to_dict(): both engines produce byte-identical captures, so runs
+    # share cache/store entries regardless of which one executed.
+    engine: str = "scalar"
 
     def cluster_spec(self) -> ClusterSpec:
         return ClusterSpec(num_nodes=self.nodes,
@@ -69,7 +73,8 @@ class CampaignConfig:
                            topology=self.topology,
                            oversubscription=self.oversubscription,
                            containers_per_node=self.containers_per_node,
-                           backend=self.backend)
+                           backend=self.backend,
+                           engine=self.engine)
 
     def hadoop_config(self) -> HadoopConfig:
         return HadoopConfig(block_size=self.block_mb * MB,

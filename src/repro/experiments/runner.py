@@ -145,6 +145,9 @@ class CapturePoint:
             # Explicit top-level backend discriminator: analytic and
             # fluid captures of the same point must never alias, no
             # matter which constructor built the key_config payload.
+            # The fluid *engine* is deliberately absent (ClusterSpec.
+            # to_dict drops it): scalar and vectorized captures are
+            # byte-identical, so they share one store entry.
             "backend": self.cluster_spec.backend,
             "config": _thaw(self.key_config),
             "job_kwargs": _thaw(self.job_kwargs),

@@ -44,7 +44,8 @@ class ReplayReport:
 
 def replay_trace(trace: JobTrace, topology: Optional[Topology] = None,
                  time_scale: float = 1.0,
-                 backend: str = "fluid") -> ReplayReport:
+                 backend: str = "fluid",
+                 engine: str = "scalar") -> ReplayReport:
     """Replay every flow of ``trace`` at its recorded start time.
 
     The topology defaults to one built from the trace's cluster spec.
@@ -54,7 +55,8 @@ def replay_trace(trace: JobTrace, topology: Optional[Topology] = None,
     compresses the schedule (1.0 = as captured).  ``backend`` selects
     the transport substrate replayed against; ``record`` turns replay
     into a zero-cost re-emission of the trace's own schedule (what the
-    ns-3/OMNeT exporters consume).
+    ns-3/OMNeT exporters consume).  ``engine`` picks the fluid
+    implementation (``scalar``/``vectorized``; identical results).
     """
     if time_scale <= 0:
         raise ValueError(f"time_scale must be positive, got {time_scale}")
@@ -65,7 +67,7 @@ def replay_trace(trace: JobTrace, topology: Optional[Topology] = None,
                                   host_gbps=spec.host_gbps,
                                   oversubscription=spec.oversubscription)
     sim = Simulator()
-    net = make_backend(backend, sim, topology)
+    net = make_backend(backend, sim, topology, engine=engine)
     collector = FlowCollector(net)
     by_name = {host.name: host for host in topology.hosts}
     workers = topology.hosts[1:] if len(topology.hosts) > 1 else topology.hosts

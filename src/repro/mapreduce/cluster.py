@@ -65,7 +65,8 @@ class HadoopCluster:
         self.workers: List[Host] = self.topology.hosts[:-1]
 
         self.net = make_backend(self.spec.backend, self.sim, self.topology,
-                                hop_latency=self.spec.hop_latency_s)
+                                hop_latency=self.spec.hop_latency_s,
+                                engine=self.spec.engine)
         self.collector = FlowCollector(self.net)
 
         self.namenode = NameNode(self.master, self.workers,

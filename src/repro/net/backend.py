@@ -35,6 +35,15 @@ Backends register in :data:`BACKENDS` and are constructed through
 :func:`make_backend`, the single factory used by
 ``HadoopCluster``, ``replay_trace`` and the CLI.  Future substrates
 (packet-level, external-simulator bridges) plug in the same way.
+
+Orthogonal to the backend choice, the fluid backend has an *engine*
+axis (``ClusterSpec.engine``, CLI ``--engine``): ``scalar`` is the
+original dict/heap implementation, ``vectorized`` the numpy
+re-expression of the same water-filling (see
+:mod:`repro.net.vectorized`).  The two are bit-compatible by
+construction — same flows, same rates, byte-identical captures — so the
+engine only changes how fast a run finishes, never what it records.
+Backends without a fluid core accept and ignore the knob.
 """
 
 from __future__ import annotations
@@ -160,6 +169,14 @@ class TransportBackend(ABC):
     @abstractmethod
     def perf(self) -> Dict[str, float]:
         """Cumulative engine performance counters."""
+
+    def throughput_gbps(self) -> float:
+        """Aggregate instantaneous rate over active flows, in Gbit/s.
+
+        The probe-facing view; engines with array-resident rates
+        override it so sampling never walks the flow set.
+        """
+        return sum(flow.rate for flow in self.active.values()) * 8 / 1e9
 
     def utilisation(self, link: Tuple[object, object]) -> float:
         """Mean utilisation of a directed link since t=0 (fraction)."""
@@ -419,14 +436,19 @@ BACKENDS: Dict[str, Type[TransportBackend]] = {
 #: The names :func:`make_backend` accepts (CLI choices, config checks).
 BACKEND_NAMES = ("fluid", "analytic", "record")
 
+#: The fluid-engine implementations (``ClusterSpec.engine``, CLI
+#: ``--engine``): same water-filling, scalar dict/heap vs numpy arrays.
+ENGINE_NAMES = ("scalar", "vectorized")
+
 
 def make_backend(name: str, sim: Simulator, topology: Topology,
                  **cfg: Any) -> TransportBackend:
     """Construct the transport backend ``name`` over ``topology``.
 
     ``cfg`` passes substrate-specific knobs through (``hop_latency``,
-    ``batch_updates`` for fluid); backends ignore knobs they do not
-    have.  Unknown names raise ``ValueError`` listing the registry.
+    ``batch_updates`` and ``engine`` for fluid); backends ignore knobs
+    they do not have.  Unknown names raise ``ValueError`` listing the
+    registry.
     """
     if "fluid" not in BACKENDS:
         from repro.net.network import FlowNetwork

@@ -121,7 +121,7 @@ class FairShareAllocator:
     """
 
     __slots__ = ("_link_ids", "_link_caps", "_members", "_flow_links",
-                 "_flow_caps", "recomputes", "allocator_seconds")
+                 "_flow_caps", "recomputes", "rounds", "allocator_seconds")
 
     def __init__(self, capacities: Optional[Mapping[Hashable, float]] = None):
         self._link_ids: Dict[Hashable, int] = {}   # external link key -> dense id
@@ -130,6 +130,7 @@ class FairShareAllocator:
         self._flow_links: Dict[Hashable, List[int]] = {}
         self._flow_caps: Dict[Hashable, float] = {}
         self.recomputes = 0
+        self.rounds = 0
         self.allocator_seconds = 0.0
         if capacities:
             for link, capacity in capacities.items():
@@ -224,50 +225,87 @@ class FairShareAllocator:
             if self._flow_links.get(flow)]
         heapq.heapify(cap_heap)
         frozen: Set[Hashable] = set()
+        flow_links = self._flow_links
 
-        def freeze(flow: Hashable, rate: float) -> None:
-            rates[flow] = rate
-            frozen.add(flow)
-            for link_id in self._flow_links[flow]:
-                left = count[link_id] - 1
-                count[link_id] = left
-                spare = residual[link_id] - rate
-                residual[link_id] = spare if spare > 0.0 else 0.0
-                if left > 0:
-                    heapq.heappush(heap, (residual[link_id] / left, link_id))
-
+        # Water-fill in *bottleneck rounds*, grouped exactly like the
+        # reference: each round finds the global minimum attainable
+        # level B, freezes every unfrozen flow whose level is within
+        # _EPS of B at rate max(B, 0), and absorbs the whole group in
+        # one bulk per-link update (``residual - rate * shed``).  The
+        # vectorized engine performs the same round arithmetic on dense
+        # arrays, so the two engines agree bit for bit — the foundation
+        # of the byte-identical-capture guarantee.
         while remaining:
+            self.rounds += 1
             # The valid heap minimum: an entry is stale if its link lost
             # members or capacity since it was pushed (shares only rise,
             # so stale entries surface first and are discarded).
             link_share = float("inf")
-            link_id = -1
             while heap:
                 share, candidate = heap[0]
                 loaded = count[candidate]
                 if loaded == 0 or residual[candidate] / loaded != share:
                     heapq.heappop(heap)
                     continue
-                link_share, link_id = share, candidate
+                link_share = share
                 break
             while cap_heap and cap_heap[0][1] in frozen:
                 heapq.heappop(cap_heap)
-            if cap_heap and cap_heap[0][0] <= link_share:
-                cap, flow = heapq.heappop(cap_heap)
-                freeze(flow, cap)
-                remaining -= 1
-                continue
-            if link_id < 0:
+            cap_share = cap_heap[0][0] if cap_heap else float("inf")
+            bottleneck = cap_share if cap_share < link_share else link_share
+            if bottleneck == float("inf"):
                 raise RuntimeError(
                     "water-filling stalled with unfrozen flows (allocator bug)")
-            # The link saturates: every unfrozen flow crossing it is
-            # bottlenecked here and freezes at the link's fair share.
-            heapq.heappop(heap)
-            for flow in members[link_id]:
-                if flow not in frozen:
-                    freeze(flow, link_share)
-                    remaining -= 1
+            rate = bottleneck if bottleneck > 0.0 else 0.0
+            threshold = bottleneck * (1.0 + _EPS)
+            newly: List[Hashable] = []
+            while cap_heap and cap_heap[0][0] <= threshold:
+                _, capped = heapq.heappop(cap_heap)
+                if capped not in frozen:
+                    frozen.add(capped)
+                    newly.append(capped)
+            while heap and heap[0][0] <= threshold:
+                share, candidate = heapq.heappop(heap)
+                loaded = count[candidate]
+                if loaded == 0 or residual[candidate] / loaded != share:
+                    continue  # stale entry below the threshold: discard
+                for flow in members[candidate]:
+                    if flow not in frozen:
+                        frozen.add(flow)
+                        newly.append(flow)
+            tally: Dict[int, int] = {}
+            for flow in newly:
+                rates[flow] = rate
+                for link_id in flow_links[flow]:
+                    tally[link_id] = tally.get(link_id, 0) + 1
+            remaining -= len(newly)
+            for link_id, shed in tally.items():
+                left = count[link_id] - shed
+                count[link_id] = left
+                spare = residual[link_id] - rate * shed
+                residual[link_id] = spare if spare > 0.0 else 0.0
+                if left > 0:
+                    heapq.heappush(heap, (residual[link_id] / left, link_id))
         return rates
+
+
+def _link_loads(
+    rates: Mapping[Hashable, float],
+    flow_links: Mapping[Hashable, Sequence[Hashable]],
+) -> Dict[Hashable, float]:
+    """Per-link offered load.  Tolerant of engine differences: rate
+    values may be python floats or numpy scalars (coerced), and flows
+    absent from ``rates`` (e.g. not yet admitted by the engine under
+    inspection) simply contribute nothing."""
+    load: Dict[Hashable, float] = {}
+    for flow, links in flow_links.items():
+        rate = rates.get(flow)
+        if rate is None or not links:
+            continue
+        rate = float(rate)
+        for link in links:
+            load[link] = load.get(link, 0.0) + rate
+    return load
 
 
 def allocation_is_feasible(
@@ -276,12 +314,17 @@ def allocation_is_feasible(
     capacities: Mapping[Hashable, float],
     tolerance: float = 1e-6,
 ) -> bool:
-    """Check that no link's capacity is exceeded (validation helper)."""
-    load: Dict[Hashable, float] = {}
-    for flow, links in flow_links.items():
-        for link in links:
-            load[link] = load.get(link, 0.0) + rates[flow]
-    return all(load[link] <= capacities[link] * (1 + tolerance) for link in load)
+    """Check that no link's capacity is exceeded (validation helper).
+
+    Accepts rates from either engine: values are coerced through
+    ``float`` (numpy scalars work), flows missing from ``rates`` are
+    skipped, and the comparison allows ``tolerance`` relative slack so
+    the last-bit noise between independently computed allocations never
+    flips the verdict.
+    """
+    load = _link_loads(rates, flow_links)
+    return all(load[link] <= float(capacities[link]) * (1.0 + tolerance)
+               for link in load)
 
 
 def bottlenecked_flows(
@@ -294,21 +337,25 @@ def bottlenecked_flows(
     """For each flow, whether it is bottlenecked (link saturated or cap hit).
 
     Max-min fairness requires *every* flow to be bottlenecked somewhere;
-    the property tests assert this invariant.
+    the property tests assert this invariant.  Like
+    :func:`allocation_is_feasible` this is engine-agnostic: rates are
+    coerced through ``float``, comparisons are tolerance-aware, and
+    flows absent from ``rates`` are left out of the result.
     """
     caps = caps or {}
-    load: Dict[Hashable, float] = {}
-    for flow, links in flow_links.items():
-        for link in links:
-            load[link] = load.get(link, 0.0) + rates[flow]
+    load = _link_loads(rates, flow_links)
     result: Dict[Hashable, bool] = {}
     for flow, links in flow_links.items():
+        if flow not in rates:
+            continue
+        rate = float(rates[flow])
         cap = caps.get(flow)
-        if cap is not None and rates[flow] >= cap * (1 - tolerance):
+        if cap is not None and rate >= float(cap) * (1.0 - tolerance):
             result[flow] = True
             continue
         result[flow] = any(
-            load[link] >= capacities[link] * (1 - tolerance) for link in links)
+            load[link] >= float(capacities[link]) * (1.0 - tolerance)
+            for link in links)
         if not links:
             # Uncapped local flow: rate is inf, trivially "bottlenecked".
             result[flow] = True

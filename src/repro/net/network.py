@@ -38,6 +38,18 @@ at the flow's rate cap (typically the disk rate) and are flagged
 Per-link delivered bytes are accumulated on every update, giving the
 utilisation series used by experiment E11.  Performance counters for
 the whole fluid engine live on :attr:`FlowNetwork.perf`.
+
+Engines
+-------
+The fluid dynamics have two interchangeable implementations selected by
+``engine``: ``scalar`` (the original per-flow dict/heap code below) and
+``vectorized`` (:mod:`repro.net.vectorized`), which holds rates,
+remaining bytes and link incidence in dense numpy arrays so progress
+advancement, completion harvesting and water-filling are array
+expressions.  Both perform the identical IEEE-754 round arithmetic, so
+a capture is byte-identical across engines; only wall-clock cost
+differs.  The differential suite in
+``tests/test_fairshare_incremental.py`` enforces this.
 """
 
 from __future__ import annotations
@@ -47,7 +59,7 @@ from contextlib import contextmanager
 from typing import Any, Dict, Optional
 
 from repro.cluster.topology import Host, Topology
-from repro.net.backend import TransportBackend
+from repro.net.backend import ENGINE_NAMES, TransportBackend
 from repro.net.fairshare import FairShareAllocator
 from repro.net.flow import Flow
 from repro.simkit.core import Event, Simulator
@@ -75,21 +87,47 @@ class FlowNetwork(TransportBackend):
 
     ``batch_updates`` (default True) enables same-timestamp coalescing
     of rate recomputations; see the module docstring.
+
+    ``engine`` selects the fluid-dynamics implementation: ``scalar``
+    (default) or ``vectorized`` (numpy; see the module docstring).
     """
 
     name = "fluid"
 
     def __init__(self, sim: Simulator, topology: Topology,
-                 hop_latency: float = 0.0, batch_updates: bool = True):
+                 hop_latency: float = 0.0, batch_updates: bool = True,
+                 engine: str = "scalar"):
         if hop_latency < 0:
             raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
+        if engine not in ENGINE_NAMES:
+            known = ", ".join(ENGINE_NAMES)
+            raise ValueError(f"unknown fluid engine {engine!r}; known: {known}")
+        self.engine = engine
+        # Set before super().__init__: the base class assigns
+        # ``link_bytes``, which is a property below and whose getter
+        # consults ``_vec``.
+        self._vec = None
+        self._link_bytes: Dict[Any, float] = {}
         super().__init__(sim, topology)
         self.hop_latency = hop_latency
         self.batch_updates = batch_updates
         # Per-network flow ids: simulations are reproducible no matter
         # how many flows earlier clusters in this process created.
         self._flow_ids = itertools.count(1)
-        self._allocator = FairShareAllocator()
+        if engine == "vectorized":
+            try:
+                from repro.net.vectorized import (
+                    VectorizedFairShareAllocator,
+                    VectorizedFlowState,
+                )
+            except ImportError:
+                raise RuntimeError(
+                    "engine 'vectorized' requires numpy, which is not "
+                    "installed; use engine='scalar'") from None
+            self._allocator = VectorizedFairShareAllocator()
+            self._vec = VectorizedFlowState(self._allocator)
+        else:
+            self._allocator = FairShareAllocator()
         self._completion_event: Optional[Event] = None
         self._flush_event: Optional[Event] = None
         self._batch_depth = 0
@@ -110,21 +148,42 @@ class FlowNetwork(TransportBackend):
         registry.gauge("net.active_flows", fn=lambda: len(self.active))
         registry.gauge("net.recomputes",
                        fn=lambda: self._allocator.recomputes)
+        registry.gauge("net.waterfill_rounds",
+                       fn=lambda: self._allocator.rounds)
         registry.gauge("net.allocator_seconds",
                        fn=lambda: self._allocator.allocator_seconds)
+        registry.gauge("net.engine", engine=self.engine).set(1.0)
 
     # -- observation ---------------------------------------------------------
 
     @property
-    def allocator(self) -> FairShareAllocator:
-        """The stateful rate allocator mirroring the active flow set."""
+    def allocator(self):
+        """The stateful rate allocator mirroring the active flow set.
+
+        A :class:`~repro.net.fairshare.FairShareAllocator` or its
+        vectorized twin, depending on ``engine``.
+        """
         return self._allocator
+
+    @property
+    def link_bytes(self) -> Dict[Any, float]:
+        """Per-link delivered bytes (materialised lazily when vectorized)."""
+        vec = self._vec
+        if vec is not None and vec.links_dirty:
+            vec.export_link_bytes(self._link_bytes)
+        return self._link_bytes
+
+    @link_bytes.setter
+    def link_bytes(self, value: Dict[Any, float]) -> None:
+        self._link_bytes = value
 
     @property
     def perf(self) -> dict:
         """Fluid-engine performance counters (cumulative)."""
         return {
+            "engine": self.engine,
             "recomputes": self._allocator.recomputes,
+            "waterfill_rounds": self._allocator.rounds,
             "allocator_seconds": self._allocator.allocator_seconds,
             "updates_requested": self.updates_requested,
             "flushes": self.flushes,
@@ -207,7 +266,10 @@ class FlowNetwork(TransportBackend):
     def _activate(self, flow: Flow) -> None:
         flow.last_update = self.sim.now
         self.active[flow.flow_id] = flow
-        self._allocator.add_flow(flow.flow_id, flow.links, flow.max_rate)
+        if self._vec is not None:
+            self._vec.add(flow)
+        else:
+            self._allocator.add_flow(flow.flow_id, flow.links, flow.max_rate)
         self._request_update()
 
     def _complete_local(self, flow: Flow) -> None:
@@ -231,7 +293,10 @@ class FlowNetwork(TransportBackend):
         # banked before the allocator changes shape.
         self._advance_progress()
         del self.active[flow.flow_id]
-        self._allocator.remove_flow(flow.flow_id)
+        if self._vec is not None:
+            self._vec.remove(flow)
+        else:
+            self._allocator.remove_flow(flow.flow_id)
         flow.rate = 0.0
         self._request_update()
         return True
@@ -295,6 +360,15 @@ class FlowNetwork(TransportBackend):
             # since then had its ``last_update`` pinned to ``now``, so
             # the scan would be a pure no-op.
             return
+        if self._vec is not None:
+            # A uniform elapsed is exact here: every activation triggers
+            # a same-instant flush, so at this point every flow either
+            # advanced at ``_last_progress`` or joined later with rate 0
+            # (rates are only assigned by the post-advance recompute) —
+            # for the latecomers ``rate × elapsed`` is 0 regardless.
+            self._vec.advance(now - self._last_progress)
+            self._last_progress = now
+            return
         self._last_progress = now
         link_bytes = self.link_bytes
         for flow in self.active.values():
@@ -307,6 +381,12 @@ class FlowNetwork(TransportBackend):
             flow.last_update = now
 
     def _recompute_rates(self) -> None:
+        if self._vec is not None:
+            # Rates live in the allocator's array; Flow.rate is not
+            # maintained per flow (nothing outside the scalar paths
+            # reads it — probes go through ``throughput_gbps``).
+            self._allocator.recompute()
+            return
         rates = self._allocator.rates()
         for flow_id, flow in self.active.items():
             flow.rate = rates[flow_id]
@@ -320,21 +400,35 @@ class FlowNetwork(TransportBackend):
         if not self.active:
             return
         self._recompute_rates()
-        horizon = min(
-            flow.remaining / flow.rate if flow.rate > 0 else float("inf")
-            for flow in self.active.values())
+        if self._vec is not None:
+            horizon = self._vec.horizon()
+        else:
+            horizon = min(
+                flow.remaining / flow.rate if flow.rate > 0 else float("inf")
+                for flow in self.active.values())
         if horizon == float("inf"):
             raise RuntimeError(
                 "active flows exist but none can make progress (zero rates)")
         self._completion_event = self.sim.schedule(
             horizon, self._complete_due, priority=-1)
 
+    def throughput_gbps(self) -> float:
+        if self._vec is not None:
+            return self._vec.throughput_bytes() * 8 / 1e9
+        return super().throughput_gbps()
+
     def _harvest_finished(self) -> None:
-        finished = [flow for flow in self.active.values()
-                    if flow.remaining <= _DONE_EPS_BYTES]
+        if self._vec is not None:
+            finished = self._vec.finished(_DONE_EPS_BYTES)
+        else:
+            finished = [flow for flow in self.active.values()
+                        if flow.remaining <= _DONE_EPS_BYTES]
         for flow in finished:
             del self.active[flow.flow_id]
-            self._allocator.remove_flow(flow.flow_id)
+            if self._vec is not None:
+                self._vec.remove(flow)
+            else:
+                self._allocator.remove_flow(flow.flow_id)
             flow.remaining = 0.0
             flow.rate = 0.0
             flow.end_time = self.sim.now

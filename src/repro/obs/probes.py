@@ -142,8 +142,7 @@ class ClusterProbes:
         now = sim.now
         log = self.log
         log.sample("net.active_flows", now, len(net.active))
-        log.sample("net.throughput_gbps", now,
-                   sum(flow.rate for flow in net.active.values()) * 8 / 1e9)
+        log.sample("net.throughput_gbps", now, net.throughput_gbps())
         utilisations = [net.utilisation(link) for link in net._capacities]
         if utilisations:
             log.sample("net.link_utilisation_mean", now,

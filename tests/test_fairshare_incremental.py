@@ -9,6 +9,11 @@ indistinguishable from :func:`repro.net.fairshare.max_min_rates`:
 * a seeded end-to-end terasort must produce flow-for-flow identical
   traces with batching on and off (the legacy recompute-per-change
   mode).
+
+The vectorized engine (:mod:`repro.net.vectorized`) is held to the
+same oracle *plus* a stronger end-to-end pin: a seeded terasort's
+capture must be **byte-identical** across engines, because both
+perform the same IEEE-754 round arithmetic by construction.
 """
 
 import random
@@ -19,7 +24,21 @@ from repro.cluster.config import ClusterSpec, HadoopConfig
 from repro.cluster.units import MB
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
-from repro.net.fairshare import FairShareAllocator, allocation_is_feasible, max_min_rates
+from repro.net.fairshare import (
+    FairShareAllocator,
+    allocation_is_feasible,
+    bottlenecked_flows,
+    max_min_rates,
+)
+
+try:
+    from repro.net.vectorized import VectorizedFairShareAllocator
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy is in the toolchain
+    HAVE_NUMPY = False
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="vectorized engine needs numpy")
 
 REL_TOL = 1e-6
 
@@ -178,3 +197,232 @@ def test_seeded_terasort_trace_identical_with_and_without_batching():
     assert batched_cluster.net.perf["recomputes"] < legacy_cluster.net.perf["recomputes"]
     assert batched_cluster.net.perf["flows_batched"] > 0
     assert legacy_cluster.net.perf["flushes"] == 0
+
+
+# -- the vectorized engine vs the scalar oracle ---------------------------------------
+
+
+def _build_vectorized(capacities, flow_links, caps):
+    allocator = VectorizedFairShareAllocator(capacities)
+    for flow, links in flow_links.items():
+        allocator.add_flow(flow, links, caps.get(flow))
+    return allocator
+
+
+@needs_numpy
+def test_vectorized_differential_250_randomized_cases():
+    """>= 250 random fabrics: numpy water-filling == scalar oracle."""
+    for seed in range(250):
+        rng = random.Random(seed)
+        capacities, flow_links, caps = _random_scenario(rng)
+        oracle = _build_allocator(capacities, flow_links, caps).rates()
+        vectorized = _build_vectorized(capacities, flow_links, caps).rates()
+        _assert_rates_match(vectorized, oracle, context=f"seed {seed}")
+        routed = {f: l for f, l in flow_links.items() if l}
+        assert allocation_is_feasible(
+            {f: vectorized[f] for f in routed}, routed, capacities)
+
+
+@needs_numpy
+def test_vectorized_differential_churn_and_capacity_updates():
+    """Add/remove churn + live capacity changes track the scalar engine."""
+    for seed in range(40):
+        rng = random.Random(2000 + seed)
+        capacities, flow_links, caps = _random_scenario(rng)
+        scalar = FairShareAllocator(capacities)
+        vectorized = VectorizedFairShareAllocator(capacities)
+        active = {}
+        pool = list(flow_links)
+        for step in range(60):
+            roll = rng.random()
+            if active and (roll < 0.35 or not pool):
+                flow = rng.choice(list(active))
+                del active[flow]
+                scalar.remove_flow(flow)
+                vectorized.remove_flow(flow)
+            elif roll < 0.45:
+                link = rng.choice(list(capacities))
+                capacities[link] = rng.uniform(1.0, 1000.0)
+                scalar.set_capacity(link, capacities[link])
+                vectorized.set_capacity(link, capacities[link])
+            elif pool:
+                flow = pool.pop(rng.randrange(len(pool)))
+                active[flow] = flow_links[flow]
+                scalar.add_flow(flow, flow_links[flow], caps.get(flow))
+                vectorized.add_flow(flow, flow_links[flow], caps.get(flow))
+            _assert_rates_match(vectorized.rates(), scalar.rates(),
+                                context=f"seed {seed} step {step}")
+
+
+@needs_numpy
+def test_vectorized_rates_are_bitwise_equal_to_scalar():
+    """Stronger than 1e-6: identical round arithmetic → identical bits.
+
+    This is what makes captures byte-identical across engines; if this
+    ever regresses, the end-to-end byte pin below explains *where*.
+    """
+    for seed in range(100):
+        rng = random.Random(seed)
+        capacities, flow_links, caps = _random_scenario(rng)
+        oracle = _build_allocator(capacities, flow_links, caps).rates()
+        vectorized = _build_vectorized(capacities, flow_links, caps).rates()
+        assert oracle == vectorized, f"seed {seed}"
+
+
+@needs_numpy
+def test_vectorized_rejects_misuse_like_scalar():
+    allocator = VectorizedFairShareAllocator({"l": 10.0})
+    with pytest.raises(ValueError):
+        allocator.set_capacity("bad", 0.0)
+    with pytest.raises(KeyError):
+        allocator.add_flow("f", ["unknown-link"])
+    allocator.add_flow("f", ["l"])
+    with pytest.raises(ValueError):
+        allocator.add_flow("f", ["l"])  # duplicate
+    with pytest.raises(ValueError):
+        allocator.add_flow("g", ["l"], cap=-1.0)
+    with pytest.raises(KeyError):
+        allocator.remove_flow("never-added")
+    assert len(allocator) == 1 and "f" in allocator
+    allocator.remove_flow("f")
+    assert len(allocator) == 0
+
+
+@needs_numpy
+def test_vectorized_linkless_and_counters():
+    allocator = VectorizedFairShareAllocator({"l": 100.0})
+    allocator.add_flow("free", [])
+    allocator.add_flow("capped", [], cap=7.0)
+    allocator.add_flow("a", ["l"])
+    rates = allocator.rates()
+    assert rates["free"] == float("inf")
+    assert rates["capped"] == 7.0
+    assert rates["a"] == pytest.approx(100.0)
+    assert all(isinstance(rate, float) for rate in rates.values())
+    allocator.remove_flow("a")
+    allocator.rates()
+    assert allocator.recomputes == 2
+    assert allocator.rounds >= 1
+    assert allocator.allocator_seconds >= 0.0
+
+
+@needs_numpy
+def test_vectorized_slot_recycling_reuses_storage():
+    """Heavy add/remove churn recycles slots instead of growing arrays."""
+    allocator = VectorizedFairShareAllocator({"l": 100.0})
+    for round_index in range(50):
+        for index in range(8):
+            allocator.add_flow(f"f{round_index}_{index}", ["l"])
+        rates = allocator.rates()
+        assert len(rates) == 8
+        for index in range(8):
+            allocator.remove_flow(f"f{round_index}_{index}")
+    # 8 concurrent flows ever; storage must not have grown past the
+    # initial geometric doublings for that population.
+    assert allocator._hi <= 16
+
+
+# -- tolerance-aware helpers (engine-agnostic rate dicts) ------------------------------
+
+
+def test_allocation_is_feasible_accepts_tolerant_rates():
+    capacities = {"l": 100.0}
+    flow_links = {"a": ["l"], "b": ["l"]}
+    assert allocation_is_feasible({"a": 50.0, "b": 50.0}, flow_links, capacities)
+    # A hair over capacity stays feasible within the tolerance...
+    assert allocation_is_feasible({"a": 50.0, "b": 50.0 + 4e-5},
+                                  flow_links, capacities)
+    # ...a real violation does not.
+    assert not allocation_is_feasible({"a": 60.0, "b": 50.0},
+                                      flow_links, capacities)
+    # Flows missing from the rate dict (e.g. not yet allocated) and
+    # linkless flows are simply not load; they never crash the check.
+    assert allocation_is_feasible({"a": 100.0},
+                                  {"a": ["l"], "ghost": ["l"], "free": []},
+                                  capacities)
+
+
+@needs_numpy
+def test_helpers_accept_rates_from_either_engine():
+    import numpy as np
+
+    capacities = {"l": 100.0, "m": 50.0}
+    flow_links = {"a": ["l", "m"], "b": ["l"], "free": []}
+    scalar_rates = _build_allocator(capacities, flow_links, {}).rates()
+    vector_rates = _build_vectorized(capacities, flow_links, {}).rates()
+    for rates in (scalar_rates, vector_rates,
+                  {f: np.float64(r) for f, r in vector_rates.items()
+                   if r != float("inf")}):
+        assert allocation_is_feasible(rates, flow_links, capacities)
+        bottled = bottlenecked_flows(rates, flow_links, capacities)
+        assert bottled["a"] and bottled["b"]
+    assert bottlenecked_flows(scalar_rates, flow_links, capacities)["free"]
+
+
+def test_bottlenecked_flows_skips_missing_and_coerces():
+    capacities = {"l": 100.0}
+    flow_links = {"a": ["l"], "ghost": ["l"]}
+    bottled = bottlenecked_flows({"a": 100.0}, flow_links, capacities)
+    assert bottled == {"a": True}
+    capped = bottlenecked_flows({"c": 7.0}, {"c": ["l"]}, capacities,
+                                caps={"c": 7.0})
+    assert capped["c"]
+
+
+# -- end-to-end: byte-identical captures across engines --------------------------------
+
+
+def _reset_counter_streams():
+    """Rewind the process-global id streams the capture bytes embed.
+
+    Job/container/block/flow ids come from module-level
+    ``itertools.count`` streams, so the *second* simulation in one
+    process would differ in ids (and the ports derived from them) for
+    reasons that have nothing to do with the engine under test.
+    """
+    import itertools
+
+    import repro.hdfs.blocks as blocks
+    import repro.jobs.base as jobs_base
+    import repro.net.flow as flow_mod
+    import repro.yarn.containers as containers
+
+    jobs_base._job_counter = itertools.count(1)
+    containers._container_ids = itertools.count(1)
+    blocks._block_ids = itertools.count(1)
+    flow_mod._flow_ids = itertools.count(1)
+
+
+def _run_terasort_engine(engine):
+    _reset_counter_streams()
+    cluster = HadoopCluster(
+        ClusterSpec(num_nodes=8, hosts_per_rack=4, engine=engine),
+        HadoopConfig(block_size=32 * MB, num_reducers=2), seed=7)
+    results, traces = cluster.run(
+        [make_job("terasort", input_gb=0.25, job_id="equiv")])
+    assert not results[0].failed
+    return cluster, traces[0]
+
+
+@needs_numpy
+def test_seeded_terasort_capture_byte_identical_across_engines(tmp_path):
+    """The tentpole acceptance pin: same seed, two engines, same bytes.
+
+    Full-precision float timestamps and sizes are serialised with no
+    rounding, so this only passes if every allocated rate is IEEE-754
+    identical between the scalar and vectorized water-filling.
+    """
+    scalar_cluster, scalar_trace = _run_terasort_engine("scalar")
+    vector_cluster, vector_trace = _run_terasort_engine("vectorized")
+    scalar_path = tmp_path / "scalar.jsonl"
+    vector_path = tmp_path / "vectorized.jsonl"
+    scalar_trace.to_jsonl(str(scalar_path))
+    vector_trace.to_jsonl(str(vector_path))
+    assert scalar_path.read_bytes() == vector_path.read_bytes()
+    # Both engines did the same logical work, counted identically.
+    assert (scalar_cluster.net.perf["recomputes"]
+            == vector_cluster.net.perf["recomputes"])
+    assert (scalar_cluster.net.perf["waterfill_rounds"]
+            == vector_cluster.net.perf["waterfill_rounds"])
+    assert scalar_cluster.net.perf["engine"] == "scalar"
+    assert vector_cluster.net.perf["engine"] == "vectorized"
