@@ -158,11 +158,18 @@ def test_perf_engine_sweep_full_job(benchmark):
         print(f"  {engine}: recomputes={report['net.recomputes']} "
               f"waterfill_rounds={report['net.waterfill_rounds']} "
               f"flushes={report['net.flushes']} "
+              f"batch_admitted={report['net.flows_admitted_batched']} "
+              f"bulk_harvests={report['net.bulk_harvests']} "
+              f"done_skipped={report['net.done_signals_skipped']} "
               f"allocator_seconds={report['net.allocator_seconds']:.4f}")
     assert flow_counts["scalar"] == flow_counts["vectorized"]
     for key in ("net.recomputes", "net.waterfill_rounds", "net.flushes",
-                "net.flows_batched"):
+                "net.flows_batched", "net.flows_admitted_batched",
+                "net.bulk_harvests", "net.done_signals_skipped"):
         assert reports["scalar"][key] == reports["vectorized"][key], key
+    # The producers actually use the batched seam: write pipelines and
+    # shuffle slow-start waves go through start_flows.
+    assert reports["scalar"]["net.flows_admitted_batched"] > 0
 
 
 def test_perf_topology_routing(benchmark):

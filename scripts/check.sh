@@ -50,7 +50,15 @@ python -m pytest tests/test_backend_differential.py tests/test_net_backend.py -q
 echo "== fluid-engine differential suite =="
 python -m pytest tests/test_fairshare_incremental.py tests/test_engine_axis.py -q
 
-# 6. Telemetry null-path smoke: an un-configured run must emit zero
+# 6. Batched-admission differential gate: admitting a wave through
+#    start_flows must stay observationally identical to looping
+#    start_flow, on every substrate and both fluid engines — the
+#    contract every batching producer (shuffle bursts, write
+#    pipelines) leans on.
+echo "== batched-admission differential suite =="
+python -m pytest tests/test_flow_batching.py -q
+
+# 7. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.
 echo "== telemetry null-path smoke =="
 python - <<'EOF'

@@ -19,6 +19,11 @@
 #                          on 64/256/1024-host fat-tree wave workloads, with
 #                          per-rung speedups, byte-identity flags and a
 #                          >=1e6-flow scale run (benchmarks/bench_vectorized.py)
+#   BENCH_flow_batching.json — batched start_flows admission vs per-flow
+#                          events on fat-tree wave workloads: per-flow
+#                          overhead in microseconds, speedup, byte-identity
+#                          flags and a >=4096-host scale run
+#                          (benchmarks/bench_flow_batching.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -62,5 +67,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_vectorized.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_flow_batching.py \
     -m benchmark_suite \
     -q -s "$@"

@@ -29,7 +29,7 @@ from repro.cluster.topology import Host
 from repro.hdfs.blocks import Block, BlockLocation
 from repro.hdfs.datanode import DataNode
 from repro.hdfs.namenode import NameNode
-from repro.net.backend import TransportBackend
+from repro.net.backend import FlowRequest, TransportBackend
 from repro.simkit.core import Simulator
 
 
@@ -97,37 +97,36 @@ class DfsClient:
         # Writer == first replica (the normal case) collapses hop 0 to local I/O.
         if chain[0] == chain[1]:
             chain = chain[1:]
-        waits = []
         # The pipeline hops all start at the same instant — a textbook
-        # flow wave — so they are emitted through the network's batch
-        # API and share one rate recomputation.
-        with self.net.batch():
-            for hop_index, (src, dst) in enumerate(zip(chain[:-1], chain[1:])):
-                datanode = self.datanodes.get(dst)
-                max_rate = datanode.disk_write_rate if datanode else None
-                flow = self.net.start_flow(
-                    src, dst, location.block.size, max_rate=max_rate,
-                    metadata={
-                        "component": component,
-                        "service": "dfs-write-pipeline",
-                        "job_id": job_id,
-                        "block_id": location.block.block_id,
-                        "hop": hop_index,
-                        "src_port": ports.ephemeral_port(
-                            f"write-{write_id}-{hop_index}-{src.name}"),
-                        "dst_port": ports.DATANODE_XFER,
-                    }, parent_span=span)
-                waits.append(flow.done)
-            if writer in location.replicas:
-                # Replica 1 is written through the local disk.
-                datanode = self.datanodes.get(writer)
-                rate = datanode.disk_write_rate if datanode else None
-                local_io = self.net.start_flow(
-                    writer, writer, location.block.size, max_rate=rate,
-                    metadata={"component": component, "service": "dfs-write-local",
-                              "job_id": job_id, "block_id": location.block.block_id},
-                    parent_span=span)
-                waits.append(local_io.done)
+        # flow wave — so they are admitted in one batched call: paths
+        # resolve in one pass and the wave shares one rate
+        # recomputation.
+        requests = []
+        for hop_index, (src, dst) in enumerate(zip(chain[:-1], chain[1:])):
+            datanode = self.datanodes.get(dst)
+            max_rate = datanode.disk_write_rate if datanode else None
+            requests.append(FlowRequest(
+                src, dst, location.block.size, max_rate=max_rate,
+                metadata={
+                    "component": component,
+                    "service": "dfs-write-pipeline",
+                    "job_id": job_id,
+                    "block_id": location.block.block_id,
+                    "hop": hop_index,
+                    "src_port": ports.ephemeral_port(
+                        f"write-{write_id}-{hop_index}-{src.name}"),
+                    "dst_port": ports.DATANODE_XFER,
+                }, parent_span=span))
+        if writer in location.replicas:
+            # Replica 1 is written through the local disk.
+            datanode = self.datanodes.get(writer)
+            rate = datanode.disk_write_rate if datanode else None
+            requests.append(FlowRequest(
+                writer, writer, location.block.size, max_rate=rate,
+                metadata={"component": component, "service": "dfs-write-local",
+                          "job_id": job_id, "block_id": location.block.block_id},
+                parent_span=span))
+        waits = [flow.done for flow in self.net.start_flows(requests)]
         if waits:
             yield self.sim.all_of(waits)
         if self._tracer.enabled:

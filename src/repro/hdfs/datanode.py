@@ -34,6 +34,10 @@ class DataNode:
         self.heartbeat_bytes = heartbeat_bytes
         self.heartbeats_sent = 0
         self._running = False
+        # The heartbeat port tag is a pure function of the host name;
+        # hashing it once instead of every beat keeps the control-plane
+        # producer off the hot path's profile.
+        self._heartbeat_port = ports.ephemeral_port(f"dn-hb-{self.host.name}")
 
     def start_heartbeats(self) -> None:
         """Begin the periodic DataNode→NameNode heartbeat process."""
@@ -54,7 +58,7 @@ class DataNode:
                     metadata={
                         "component": TrafficComponent.CONTROL.value,
                         "service": "dn-heartbeat",
-                        "src_port": ports.ephemeral_port(f"dn-hb-{self.host.name}"),
+                        "src_port": self._heartbeat_port,
                         "dst_port": ports.NAMENODE_RPC,
                     })
             self.heartbeats_sent += 1

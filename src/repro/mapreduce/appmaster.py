@@ -39,7 +39,7 @@ from repro.mapreduce import constants
 from repro.mapreduce import counters as ctr
 from repro.mapreduce.counters import JobCounters
 from repro.mapreduce.result import RoundResult
-from repro.net.backend import TransportBackend
+from repro.net.backend import FlowRequest, TransportBackend
 from repro.obs.trace import NULL_SPAN
 from repro.simkit.core import Interrupt, Signal, Simulator
 from repro.simkit.resources import Store
@@ -631,9 +631,12 @@ class MRAppMaster(Application):
             started = self.sim.now
 
             copies = min(self.config.shuffle_parallel_copies, len(self._maps))
+            burst = self._claim_shuffle_wave(task, host, span, copies)
             task.fetchers = [
-                self.sim.process(self._fetcher(task, host, span),
-                                 name=f"fetch[{self.app_id}/{task.index}/{i}]")
+                self.sim.process(
+                    self._fetcher(task, host, span,
+                                  first=burst[i] if i < len(burst) else None),
+                    name=f"fetch[{self.app_id}/{task.index}/{i}]")
                 for i in range(copies)
             ]
             yield self.sim.all_of(task.fetchers)
@@ -679,9 +682,68 @@ class MRAppMaster(Application):
         self.rm.release_container(container)
         self._check_all_done()
 
-    def _fetcher(self, task: _ReduceTask, host: Host, span=None):
-        """One parallel-copy slot: claims map outputs and fetches them."""
+    def _claim_shuffle_wave(self, task: _ReduceTask, host: Host, span,
+                            copies: int):
+        """Claim the map outputs already queued and admit their fetch
+        flows as one batched wave — the shuffle's slow-start burst.
+
+        A reducer launching after several maps committed used to pay
+        one admission (path resolution + rate recompute request) per
+        parallel-copy slot; here the whole opening wave goes through
+        ``start_flows`` in a single call.  The wave stops early at a
+        dead-host item (recovery must yield, so the fetcher loop owns
+        it) and at the claim budget; zero-byte outputs are claimed but
+        emit no flow, exactly as the fetcher loop would.  Returns the
+        admitted ``(flow, span)`` pairs, one per fetcher slot.
+        """
+        store = task.store
+        requests: list = []
+        fetch_spans: list = []
+        while (len(requests) < copies and task.claimed < len(self._maps)
+               and len(store)):
+            src_host, size, _map_task = store.peek()
+            if size >= 1 and self.dfs.namenode.is_dead(src_host):
+                break
+            store.get()  # items are queued, so this claim is synchronous
+            task.claimed += 1
+            task.fetched_bytes += size
+            self.result.shuffle_bytes += size
+            if size < 1:
+                continue
+            fetch_span = NULL_SPAN
+            if self._tracer.enabled:
+                fetch_span = self._tracer.start(
+                    "fetch", f"fetch[{task.index}<-{src_host.name}]",
+                    self.sim.now, parent=span, src=src_host.name,
+                    size=size)
+            datanode = self.dfs.datanodes.get(src_host)
+            requests.append(FlowRequest(
+                src_host, host, size,
+                max_rate=datanode.disk_read_rate if datanode else None,
+                metadata={
+                    "component": TrafficComponent.SHUFFLE.value,
+                    "service": "shuffle-fetch",
+                    "job_id": self.spec.job_id,
+                    "src_port": ports.SHUFFLE_HANDLER,
+                    "dst_port": ports.ephemeral_port(
+                        f"shuffle-{self.app_id}-{task.index}-{src_host.name}"),
+                }, parent_span=fetch_span))
+            fetch_spans.append(fetch_span)
+        flows = self.net.start_flows(requests) if requests else []
+        return list(zip(flows, fetch_spans))
+
+    def _fetcher(self, task: _ReduceTask, host: Host, span=None, first=None):
+        """One parallel-copy slot: claims map outputs and fetches them.
+
+        ``first`` is this slot's share of the batched slow-start wave:
+        an already-admitted ``(flow, span)`` pair to await before
+        falling back to the one-at-a-time claim loop.
+        """
         try:
+            if first is not None:
+                flow, fetch_span = first
+                yield flow.done
+                self._tracer.end(fetch_span, self.sim.now)
             yield from self._fetch_loop(task, host, span)
         except Interrupt:
             return  # reducer re-executed elsewhere; a fresh store replays

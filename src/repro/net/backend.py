@@ -48,7 +48,6 @@ Backends without a fluid core accept and ignore the knob.
 
 from __future__ import annotations
 
-import itertools
 from abc import ABC, abstractmethod
 from collections import defaultdict
 from contextlib import contextmanager
@@ -58,18 +57,45 @@ from typing import (
     Dict,
     List,
     Optional,
+    Sequence,
     Tuple,
     Type,
 )
 
 from repro.cluster.topology import Host, Topology
-from repro.net.flow import Flow
+from repro.net.flow import Flow, flow_id_stream
 from repro.simkit.core import Simulator
 
 #: Completion horizons fire at -1 and process resumes at 0; backend
 #: flushes run after both so a whole same-instant wave shares one rate
 #: decision (mirrors ``repro.net.network._FLUSH_PRIORITY``).
 _WAVE_PRIORITY = 1
+
+
+class FlowRequest:
+    """One flow intent of a batched admission wave.
+
+    A plain value object: what :meth:`TransportBackend.start_flow`
+    takes as arguments, reified so producers can hand a whole wave to
+    :meth:`TransportBackend.start_flows` in one call.
+    """
+
+    __slots__ = ("src", "dst", "size", "max_rate", "metadata", "parent_span")
+
+    def __init__(self, src: Host, dst: Host, size: float,
+                 max_rate: Optional[float] = None,
+                 metadata: Optional[Dict[str, Any]] = None,
+                 parent_span=None):
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.max_rate = max_rate
+        self.metadata = metadata
+        self.parent_span = parent_span
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FlowRequest({self.src}->{self.dst} {self.size:.0f}B "
+                f"max_rate={self.max_rate})")
 
 
 class TransportBackend(ABC):
@@ -82,6 +108,12 @@ class TransportBackend(ABC):
       decides the transfer has completed.  Host-local transfers
       (``src == dst``) never touch links and complete at the flow's
       rate cap.
+    * :meth:`start_flows` admits a whole synchronous wave of intents in
+      one call (array-in, array-out), observationally identical to a
+      per-request :meth:`start_flow` loop — same ids, same timings,
+      byte-identical captures — but paid for once per wave instead of
+      once per flow.  Hot producers (shuffle waves, pipeline hops)
+      emit through it.
     * :meth:`batch` coalesces a synchronous burst of starts (an HDFS
       pipeline's hops) into one admission decision where the backend
       has one to make; backends without shared state treat it as a
@@ -117,7 +149,13 @@ class TransportBackend(ABC):
         # Every backend announces itself on the run's registry so
         # telemetry artefacts (report --telemetry, campaign snapshots)
         # can distinguish fluid from analytic runs.
-        sim.telemetry.registry.gauge("net.backend", backend=self.name).set(1.0)
+        registry = sim.telemetry.registry
+        registry.gauge("net.backend", backend=self.name).set(1.0)
+        #: Flows admitted through a native ``start_flows`` wave.
+        self._c_batch_admitted = registry.counter("net.flows_admitted_batched")
+        #: Completed flows whose ``done`` signal was never materialised
+        #: (fire-and-forget producers; the lazy-signal saving).
+        self._c_done_skipped = registry.counter("net.done_signals_skipped")
 
     # -- the flow interface ----------------------------------------------------
 
@@ -127,6 +165,23 @@ class TransportBackend(ABC):
                    metadata: Optional[Dict[str, Any]] = None,
                    parent_span=None) -> Flow:
         """Begin transferring ``size`` bytes from ``src`` to ``dst``."""
+
+    def start_flows(self, requests: Sequence[FlowRequest]) -> List[Flow]:
+        """Admit a synchronous wave of flow intents; flows in request order.
+
+        Array-in, array-out: semantically identical to calling
+        :meth:`start_flow` once per request, in order — same flow ids,
+        same rates, same completion/listener ordering, byte-identical
+        captures (the contract ``tests/test_flow_batching.py`` pins).
+        Backends override this loop with native bulk paths that admit
+        the whole wave in one pass; this default exists so any future
+        substrate is batch-correct before it is batch-fast.
+        """
+        return [self.start_flow(request.src, request.dst, request.size,
+                                max_rate=request.max_rate,
+                                metadata=request.metadata,
+                                parent_span=request.parent_span)
+                for request in requests]
 
     @contextmanager
     def batch(self):
@@ -156,12 +211,45 @@ class TransportBackend(ABC):
 
     def _finish(self, flow: Flow) -> None:
         """Shared completion tail: listeners + drained notification."""
-        flow.done.fire(flow)
+        done = flow._done
+        if done is not None:
+            done.fire(flow)
+        else:
+            # Nobody ever waited: firing would schedule nothing anyway,
+            # so skipping the (never-allocated) signal is invisible.
+            self._c_done_skipped.value += 1
         for listener in self._listeners:
             listener(flow)
         if not self.active:
             for listener in self._drained_listeners:
                 listener()
+
+    def _finish_wave(self, flows: Sequence[Flow]) -> None:
+        """Bulk completion tail: one Python loop for a whole wave.
+
+        Equivalent to calling :meth:`_finish` per flow *when the flows
+        were already removed from* ``active`` *up front* (the fluid
+        harvest's bulk path): per-flow semantics only ever fire the
+        drained notification at a completion that leaves ``active``
+        empty, which during a harvest loop can happen at the last
+        finished flow alone — pending harvestees still occupy the
+        active set at every earlier step.  ``pending`` reconstructs
+        exactly that.
+        """
+        listeners = self._listeners
+        pending = len(flows)
+        for flow in flows:
+            pending -= 1
+            done = flow._done
+            if done is not None:
+                done.fire(flow)
+            else:
+                self._c_done_skipped.value += 1
+            for listener in listeners:
+                listener(flow)
+            if not pending and not self.active:
+                for listener in self._drained_listeners:
+                    listener()
 
     # -- observation -----------------------------------------------------------
 
@@ -222,7 +310,7 @@ class AnalyticBackend(TransportBackend):
             raise ValueError(f"hop_latency must be >= 0, got {hop_latency}")
         super().__init__(sim, topology)
         self.hop_latency = hop_latency
-        self._flow_ids = itertools.count(1)
+        self._flow_ids = flow_id_stream()
         self._link_active: Dict[Tuple[object, object], int] = defaultdict(int)
         self._wave: List[Flow] = []
         self._wave_event = None
@@ -249,8 +337,7 @@ class AnalyticBackend(TransportBackend):
                    max_rate: Optional[float] = None,
                    metadata: Optional[Dict[str, Any]] = None,
                    parent_span=None) -> Flow:
-        done = self.sim.signal(name="flow.done")
-        flow = Flow(src, dst, size, done, max_rate=max_rate,
+        flow = Flow(src, dst, size, self.sim, max_rate=max_rate,
                     metadata=metadata, flow_id=next(self._flow_ids))
         flow.span_parent = parent_span
         self._c_flows_started.value += 1
@@ -271,6 +358,63 @@ class AnalyticBackend(TransportBackend):
         else:
             self._admit(flow)
         return flow
+
+    def start_flows(self, requests: Sequence[FlowRequest]) -> List[Flow]:
+        """Native wave admission: one pass, one wave flush, one loop.
+
+        Event-order equivalence with the per-flow path: local/zero-size
+        completions are grouped by identical delay into one heap event
+        (within a group, request order is preserved; across groups the
+        times differ, so heap order is by time, not seq), delayed
+        admissions group by identical setup latency the same way, and
+        the wave-flush event always runs at :data:`_WAVE_PRIORITY`
+        after every priority-0 event of the instant — so scheduling it
+        mid-loop (per-flow) or once (here) cannot reorder anything.
+        """
+        sim = self.sim
+        now = sim.now
+        topology = self.topology
+        capacities = self._capacities
+        flow_ids = self._flow_ids
+        flows: List[Flow] = []
+        local_groups: Dict[float, List[Flow]] = {}
+        setup_groups: Dict[float, List[Flow]] = {}
+        self._c_flows_started.value += len(requests)
+        self._c_batch_admitted.value += len(requests)
+        for request in requests:
+            flow = Flow(request.src, request.dst, request.size, sim,
+                        max_rate=request.max_rate, metadata=request.metadata,
+                        flow_id=next(flow_ids))
+            flow.span_parent = request.parent_span
+            flow.start_time = now
+            flow.last_update = now
+            flows.append(flow)
+            if flow.local or flow.size == 0:
+                delay = (0.0 if flow.size == 0 or flow.max_rate is None
+                         else flow.size / flow.max_rate)
+                local_groups.setdefault(delay, []).append(flow)
+                continue
+            flow.path = topology.path(request.src, request.dst)
+            flow.links = topology.edges_on_path(flow.path)
+            for link in flow.links:
+                if link not in capacities:
+                    capacities[link] = topology.capacity(*link)
+            if self.hop_latency > 0:
+                setup = 1.5 * (2.0 * len(flow.links) * self.hop_latency)
+                setup_groups.setdefault(setup, []).append(flow)
+            else:
+                self._admit(flow)
+        for delay, group in local_groups.items():
+            if len(group) == 1:
+                sim.schedule(delay, self._complete, group[0])
+            else:
+                sim.schedule(delay, self._complete_wave, group)
+        for setup, group in setup_groups.items():
+            if len(group) == 1:
+                sim.schedule(setup, self._admit, group[0])
+            else:
+                sim.schedule(setup, self._admit_group, group)
+        return flows
 
     @contextmanager
     def batch(self):
@@ -293,6 +437,24 @@ class AnalyticBackend(TransportBackend):
         if self._batch_depth == 0 and self._wave_event is None:
             self._wave_event = self.sim.schedule(
                 0.0, self._admit_wave, priority=_WAVE_PRIORITY)
+
+    def _admit_group(self, flows: Sequence[Flow]) -> None:
+        """Admit a same-setup-latency group from one heap event."""
+        for flow in flows:
+            self._admit(flow)
+
+    def _complete_wave(self, flows: Sequence[Flow]) -> None:
+        """Complete a same-delay local group from one heap event.
+
+        Sequentially completing the group inside one event is
+        order-identical to one event per flow: between consecutive
+        per-flow completion events of a synchronous burst no other
+        event can sit (burst events occupy a contiguous seq range), and
+        the resume events their signals schedule land after the burst
+        in both shapes.
+        """
+        for flow in flows:
+            self._complete(flow)
 
     def _admit_wave(self) -> None:
         """Fix the whole wave's rates from current concurrency, once."""
@@ -387,7 +549,7 @@ class RecordBackend(TransportBackend):
     def __init__(self, sim: Simulator, topology: Topology,
                  **_ignored: Any):
         super().__init__(sim, topology)
-        self._flow_ids = itertools.count(1)
+        self._flow_ids = flow_id_stream()
         self.intents: List[FlowIntent] = []
         registry = sim.telemetry.registry
         self._c_intents = registry.counter("net.intents_recorded")
@@ -401,8 +563,7 @@ class RecordBackend(TransportBackend):
                    max_rate: Optional[float] = None,
                    metadata: Optional[Dict[str, Any]] = None,
                    parent_span=None) -> Flow:
-        done = self.sim.signal(name="flow.done")
-        flow = Flow(src, dst, size, done, max_rate=max_rate,
+        flow = Flow(src, dst, size, self.sim, max_rate=max_rate,
                     metadata=metadata, flow_id=next(self._flow_ids))
         flow.span_parent = parent_span
         flow.start_time = self.sim.now
@@ -413,6 +574,43 @@ class RecordBackend(TransportBackend):
         self.active[flow.flow_id] = flow
         self.sim.schedule(0.0, self._complete, flow)
         return flow
+
+    def start_flows(self, requests: Sequence[FlowRequest]) -> List[Flow]:
+        """Native wave recording: one intent loop, one completion event.
+
+        The per-flow path schedules one zero-delay completion per flow
+        at consecutive seqs; completing the whole wave from a single
+        event preserves every observable ordering (see
+        ``AnalyticBackend._complete_wave``) while the burst costs one
+        heap operation instead of N.
+        """
+        sim = self.sim
+        now = sim.now
+        flow_ids = self._flow_ids
+        intents = self.intents
+        active = self.active
+        flows: List[Flow] = []
+        for request in requests:
+            flow = Flow(request.src, request.dst, request.size, sim,
+                        max_rate=request.max_rate, metadata=request.metadata,
+                        flow_id=next(flow_ids))
+            flow.span_parent = request.parent_span
+            flow.start_time = now
+            flow.last_update = now
+            intents.append(FlowIntent(flow.flow_id, now, request.src,
+                                      request.dst, float(request.size),
+                                      request.max_rate, flow.metadata))
+            active[flow.flow_id] = flow
+            flows.append(flow)
+        self._c_intents.value += len(requests)
+        self._c_batch_admitted.value += len(requests)
+        if flows:
+            sim.schedule(0.0, self._complete_wave, flows)
+        return flows
+
+    def _complete_wave(self, flows: Sequence[Flow]) -> None:
+        for flow in flows:
+            self._complete(flow)
 
     def _complete(self, flow: Flow) -> None:
         if self.active.pop(flow.flow_id, None) is None:

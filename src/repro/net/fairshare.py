@@ -176,6 +176,42 @@ class FairShareAllocator:
         if cap is not None:
             self._flow_caps[flow] = float(cap)
 
+    def add_flows(self, entries: Sequence[Tuple[Hashable, Sequence[Hashable],
+                                                Optional[float]]]) -> None:
+        """Grouped :meth:`add_flow`: one call for a whole admission wave.
+
+        ``entries`` is ``(flow, links, cap)`` per flow.  Same state
+        transitions and validation as the per-flow calls in the same
+        order — the grouping only hoists the attribute and dict lookups
+        out of the per-flow path.
+        """
+        link_ids = self._link_ids
+        flow_links = self._flow_links
+        flow_caps = self._flow_caps
+        members = self._members
+        # Same-wave flows often share their ``links`` object (the
+        # caller resolves each (src, dst) pair once); the resolved id
+        # list is read-only, so sharing it between flows is safe.
+        ids_memo: Dict[int, List[int]] = {}
+        for flow, links, cap in entries:
+            if flow in flow_links:
+                raise ValueError(f"flow {flow!r} is already active")
+            if cap is not None and cap <= 0:
+                raise ValueError(f"flow {flow!r} has non-positive cap {cap}")
+            ids = ids_memo.get(id(links))
+            if ids is None:
+                try:
+                    ids = [link_ids[link] for link in links]
+                except KeyError as missing:
+                    raise KeyError(f"unknown link {missing.args[0]!r}; "
+                                   f"call set_capacity first") from None
+                ids_memo[id(links)] = ids
+            flow_links[flow] = ids
+            for link_id in ids:
+                members[link_id].add(flow)
+            if cap is not None:
+                flow_caps[flow] = float(cap)
+
     def remove_flow(self, flow: Hashable) -> None:
         """Remove a completed (or aborted) flow."""
         ids = self._flow_links.pop(flow, None)
@@ -184,6 +220,19 @@ class FairShareAllocator:
         for link_id in ids:
             self._members[link_id].discard(flow)
         self._flow_caps.pop(flow, None)
+
+    def remove_flows(self, flows: Sequence[Hashable]) -> None:
+        """Grouped :meth:`remove_flow` for a completion wave, in order."""
+        flow_links = self._flow_links
+        flow_caps = self._flow_caps
+        members = self._members
+        for flow in flows:
+            ids = flow_links.pop(flow, None)
+            if ids is None:
+                raise KeyError(f"flow {flow!r} is not active")
+            for link_id in ids:
+                members[link_id].discard(flow)
+            flow_caps.pop(flow, None)
 
     def rates(self) -> Dict[Hashable, float]:
         """Max-min fair rates of all active flows (see :func:`max_min_rates`)."""

@@ -54,14 +54,13 @@ differs.  The differential suite in
 
 from __future__ import annotations
 
-import itertools
 from contextlib import contextmanager
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.cluster.topology import Host, Topology
-from repro.net.backend import ENGINE_NAMES, TransportBackend
+from repro.net.backend import ENGINE_NAMES, FlowRequest, TransportBackend
 from repro.net.fairshare import FairShareAllocator
-from repro.net.flow import Flow
+from repro.net.flow import Flow, flow_id_stream
 from repro.simkit.core import Event, Simulator
 
 _DONE_EPS_BYTES = 0.5
@@ -113,7 +112,7 @@ class FlowNetwork(TransportBackend):
         self.batch_updates = batch_updates
         # Per-network flow ids: simulations are reproducible no matter
         # how many flows earlier clusters in this process created.
-        self._flow_ids = itertools.count(1)
+        self._flow_ids = flow_id_stream()
         if engine == "vectorized":
             try:
                 from repro.net.vectorized import (
@@ -142,6 +141,7 @@ class FlowNetwork(TransportBackend):
         self._c_updates = registry.counter("net.updates_requested")
         self._c_flushes = registry.counter("net.flushes")
         self._c_batched = registry.counter("net.flows_batched")
+        self._c_bulk_harvests = registry.counter("net.bulk_harvests")
         self._c_flows_started = registry.counter("net.flows_started")
         self._c_flows_completed = registry.counter("net.flows_completed")
         self._c_bytes_completed = registry.counter("net.bytes_completed")
@@ -188,6 +188,9 @@ class FlowNetwork(TransportBackend):
             "updates_requested": self.updates_requested,
             "flushes": self.flushes,
             "flows_batched": self.flows_batched,
+            "flows_admitted_batched": int(self._c_batch_admitted.value),
+            "bulk_harvests": int(self._c_bulk_harvests.value),
+            "done_signals_skipped": int(self._c_done_skipped.value),
         }
 
     @property
@@ -216,9 +219,8 @@ class FlowNetwork(TransportBackend):
         attaches the flow's telemetry span (emitted on completion when
         tracing is enabled) under a lifecycle span.
         """
-        done = self.sim.signal(name="flow.done")
-        flow = Flow(src, dst, size, done, max_rate=max_rate, metadata=metadata,
-                    flow_id=next(self._flow_ids))
+        flow = Flow(src, dst, size, self.sim, max_rate=max_rate,
+                    metadata=metadata, flow_id=next(self._flow_ids))
         flow.span_parent = parent_span
         self._c_flows_started.value += 1
         flow.start_time = self.sim.now
@@ -240,6 +242,96 @@ class FlowNetwork(TransportBackend):
         else:
             self._activate(flow)
         return flow
+
+    def start_flows(self, requests: Sequence[FlowRequest]) -> List[Flow]:
+        """Native wave admission: one pass, one allocator batch, one flush.
+
+        Paths and links are resolved (and capacities interned) for the
+        whole wave in a single loop; every zero-setup non-local flow is
+        activated through one bulk allocator insertion and exactly one
+        coalesced rate-update request.  Event-order equivalence with a
+        per-request :meth:`start_flow` loop:
+
+        * flow ids are drawn in request order from the same stream;
+        * local/zero-size completions group by *identical* delay into
+          one heap event each (group-internal order is request order;
+          distinct delays mean distinct fire times, so heap order never
+          falls back to sequence numbers);
+        * the flush runs at ``_FLUSH_PRIORITY`` after every priority-0
+          event of the instant, so whether it was scheduled at the
+          first activation (per-flow path) or after the loop (here) is
+          unobservable;
+        * with ``hop_latency`` the delayed activations group by
+          identical setup time, again preserving request order.
+
+        Captures are therefore byte-identical across the two admission
+        paths (``tests/test_flow_batching.py`` pins this per backend ×
+        engine).
+        """
+        sim = self.sim
+        now = sim.now
+        topology = self.topology
+        capacities = self._capacities
+        allocator = self._allocator
+        flow_ids = self._flow_ids
+        hop_latency = self.hop_latency
+        flows: List[Flow] = []
+        local_groups: Dict[float, List[Flow]] = {}
+        setup_groups: Dict[float, List[Flow]] = {}
+        ready: List[Flow] = []
+        # Wave-level (src, dst) memo: a shuffle or bench wave admits
+        # many flows over few distinct host pairs, so each pair pays
+        # for path lookup, edge listing and capacity interning once per
+        # wave instead of once per flow.  The links list is shared
+        # between same-pair flows — it is read-only downstream (both
+        # allocators derive their own id lists from it).
+        resolved_pairs: Dict[Any, Any] = {}
+        self._c_flows_started.value += len(requests)
+        self._c_batch_admitted.value += len(requests)
+        for request in requests:
+            flow = Flow(request.src, request.dst, request.size, sim,
+                        max_rate=request.max_rate, metadata=request.metadata,
+                        flow_id=next(flow_ids))
+            flow.span_parent = request.parent_span
+            flow.start_time = now
+            flow.last_update = now
+            flows.append(flow)
+            if flow.local or flow.size == 0:
+                delay = (0.0 if flow.size == 0 or flow.max_rate is None
+                         else flow.size / flow.max_rate)
+                local_groups.setdefault(delay, []).append(flow)
+                continue
+            pair = (request.src, request.dst)
+            resolved = resolved_pairs.get(pair)
+            if resolved is None:
+                path = topology.path(request.src, request.dst)
+                links = topology.edges_on_path(path)
+                for link in links:
+                    if link not in capacities:
+                        capacity = topology.capacity(*link)
+                        capacities[link] = capacity
+                        allocator.set_capacity(link, capacity)
+                resolved = (path, links)
+                resolved_pairs[pair] = resolved
+            flow.path, flow.links = resolved
+            if hop_latency > 0:
+                setup = 1.5 * (2.0 * len(flow.links) * hop_latency)
+                setup_groups.setdefault(setup, []).append(flow)
+            else:
+                ready.append(flow)
+        for delay, group in local_groups.items():
+            if len(group) == 1:
+                sim.schedule(delay, self._complete_local, group[0])
+            else:
+                sim.schedule(delay, self._complete_local_wave, group)
+        for setup, group in setup_groups.items():
+            if len(group) == 1:
+                sim.schedule(setup, self._activate, group[0])
+            else:
+                sim.schedule(setup, self._activate_wave, group)
+        if ready:
+            self._activate_wave(ready)
+        return flows
 
     @contextmanager
     def batch(self):
@@ -271,6 +363,42 @@ class FlowNetwork(TransportBackend):
         else:
             self._allocator.add_flow(flow.flow_id, flow.links, flow.max_rate)
         self._request_update()
+
+    def _activate_wave(self, flows: Sequence[Flow]) -> None:
+        """Activate a same-instant group: one allocator batch, one update.
+
+        The single :meth:`_request_update` is exact: no simulated time
+        passes inside the wave, so the per-flow path's intermediate
+        update requests all coalesce into the same flush anyway.
+        """
+        now = self.sim.now
+        active = self.active
+        if self._vec is not None:
+            for flow in flows:
+                flow.last_update = now
+                active[flow.flow_id] = flow
+            self._vec.add_batch(flows)
+        else:
+            entries = []
+            for flow in flows:
+                flow.last_update = now
+                active[flow.flow_id] = flow
+                entries.append((flow.flow_id, flow.links, flow.max_rate))
+            self._allocator.add_flows(entries)
+        self._request_update()
+
+    def _complete_local_wave(self, flows: Sequence[Flow]) -> None:
+        """Complete a same-delay local group from one heap event.
+
+        One event for the group instead of one per flow; completing
+        them back to back inside the event preserves every observable
+        ordering because the per-flow events would have been seq-
+        adjacent at this (time, priority) anyway, and the resume events
+        their done-signals schedule land after the group in both
+        shapes.
+        """
+        for flow in flows:
+            self._complete_local(flow)
 
     def _complete_local(self, flow: Flow) -> None:
         flow.remaining = 0.0
@@ -418,21 +546,51 @@ class FlowNetwork(TransportBackend):
         return super().throughput_gbps()
 
     def _harvest_finished(self) -> None:
-        if self._vec is not None:
-            finished = self._vec.finished(_DONE_EPS_BYTES)
+        vec = self._vec
+        if vec is not None:
+            finished = vec.finished(_DONE_EPS_BYTES)
         else:
             finished = [flow for flow in self.active.values()
                         if flow.remaining <= _DONE_EPS_BYTES]
-        for flow in finished:
-            del self.active[flow.flow_id]
-            if self._vec is not None:
-                self._vec.remove(flow)
+        if not finished:
+            return
+        now = self.sim.now
+        active = self.active
+        if len(finished) == 1:
+            flow = finished[0]
+            del active[flow.flow_id]
+            if vec is not None:
+                vec.remove(flow)
             else:
                 self._allocator.remove_flow(flow.flow_id)
             flow.remaining = 0.0
             flow.rate = 0.0
-            flow.end_time = self.sim.now
+            flow.end_time = now
             self.completed_count += 1
             self.total_bytes += flow.size
             self._note_completed(flow)
             self._finish(flow)
+            return
+        # Bulk path: the whole completion wave leaves the allocator in
+        # one grouped call and fires done-signals/listeners from one
+        # loop.  ``_finish_wave`` reproduces the per-flow drained
+        # semantics (pending harvestees still counted as occupying the
+        # backend), and the vectorized removal folds delivered bytes in
+        # the same per-flow order as sequential removes, so nothing
+        # observable moves.
+        self._c_bulk_harvests.value += 1
+        for flow in finished:
+            del active[flow.flow_id]
+        if vec is not None:
+            vec.remove_batch(finished)
+        else:
+            self._allocator.remove_flows(
+                [flow.flow_id for flow in finished])
+        self.completed_count += len(finished)
+        for flow in finished:
+            flow.remaining = 0.0
+            flow.rate = 0.0
+            flow.end_time = now
+            self.total_bytes += flow.size
+            self._note_completed(flow)
+        self._finish_wave(finished)

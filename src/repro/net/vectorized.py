@@ -57,7 +57,7 @@ vectorized engine is the only one that finishes in reasonable time.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -200,6 +200,110 @@ class VectorizedFairShareAllocator:
         self._key_of[slot] = flow
         return slot
 
+    def add_flows(self, entries: Sequence[Tuple[Hashable, Sequence[Hashable],
+                                                Optional[float]]]) -> List[int]:
+        """Bulk :meth:`add_flow` for one admission wave; returns the slots.
+
+        One array grow (doubling from the current capacity, so the
+        resulting capacity matches what repeated per-flow growth would
+        have produced), one incidence scatter and one ``bincount``
+        member update replace N per-flow calls.  Slot assignment order
+        is identical to sequential adds — free-list pops first, then
+        fresh slots in increasing order — so downstream state
+        (:class:`VectorizedFlowState` sequence numbers, harvest order)
+        cannot tell the difference.
+        """
+        slot_of = self._slot_of
+        link_ids = self._link_ids
+        resolved: List[Tuple[Hashable, List[int], Optional[float]]] = []
+        max_width = 0
+        # Same-wave flows routinely share their ``links`` object (the
+        # caller resolves each (src, dst) pair once), so link-key
+        # hashing is paid per distinct path, not per flow.  Keyed by
+        # id(): the objects are pinned alive by ``entries`` for the
+        # duration of the call.
+        ids_memo: Dict[int, List[int]] = {}
+        for flow, links, cap in entries:
+            if flow in slot_of:
+                raise ValueError(f"flow {flow!r} is already active")
+            if cap is not None and cap <= 0:
+                raise ValueError(f"flow {flow!r} has non-positive cap {cap}")
+            ids = ids_memo.get(id(links))
+            if ids is None:
+                try:
+                    ids = [link_ids[link] for link in links]
+                except KeyError as missing:
+                    raise KeyError(f"unknown link {missing.args[0]!r}; "
+                                   f"call set_capacity first") from None
+                ids_memo[id(links)] = ids
+            if len(ids) > max_width:
+                max_width = len(ids)
+            resolved.append((flow, ids, cap))
+        if not resolved:
+            return []
+        if max_width > self._inc.shape[1]:
+            widened = np.zeros(
+                (self._inc.shape[0], max(max_width, 2 * self._inc.shape[1])),
+                dtype=np.intp)
+            widened[:, :self._inc.shape[1]] = self._inc
+            self._inc = widened
+        free = self._free
+        fresh = len(resolved) - len(free)
+        capacity = self._inc.shape[0]
+        if fresh > 0 and self._hi + fresh > capacity:
+            while capacity < self._hi + fresh:
+                capacity *= 2
+            inc = np.zeros((capacity, self._inc.shape[1]), dtype=np.intp)
+            inc[:self._hi] = self._inc[:self._hi]
+            self._inc = inc
+            for name in ("_caps", "_rates"):
+                old = getattr(self, name)
+                grown = np.full(capacity, np.inf if name == "_caps" else 0.0,
+                                dtype=np.float64)
+                grown[:old.shape[0]] = old
+                setattr(self, name, grown)
+            mask = np.zeros(capacity, dtype=bool)
+            mask[:self._routed_mask.shape[0]] = self._routed_mask
+            self._routed_mask = mask
+            self._grow_hook(capacity)
+        key_of = self._key_of
+        caps_arr = self._caps
+        rates = self._rates
+        routed_mask = self._routed_mask
+        slots: List[int] = []
+        flat_slots: List[int] = []
+        flat_hops: List[int] = []
+        flat_vals: List[int] = []
+        routed_added = 0
+        for flow, ids, cap in resolved:
+            if free:
+                slot = free.pop()
+            else:
+                slot = self._hi
+                key_of.append(None)
+                self._hi += 1
+            slots.append(slot)
+            if ids:
+                for hop, link_id in enumerate(ids):
+                    flat_slots.append(slot)
+                    flat_hops.append(hop)
+                    flat_vals.append(link_id + 1)
+                caps_arr[slot] = float(cap) if cap is not None else np.inf
+                rates[slot] = 0.0
+                routed_mask[slot] = True
+                routed_added += 1
+            else:
+                rates[slot] = float(cap) if cap is not None else np.inf
+                routed_mask[slot] = False
+            slot_of[flow] = slot
+            key_of[slot] = flow
+        if flat_vals:
+            self._inc[flat_slots, flat_hops] = flat_vals
+            self._n_base += np.bincount(flat_vals,
+                                        minlength=self._n_base.shape[0])
+        self._routed += routed_added
+        return slots
+
     def remove_flow(self, flow: Hashable) -> int:
         """Remove a completed (or aborted) flow; returns the freed slot."""
         slot = self._slot_of.pop(flow, None)
@@ -218,6 +322,40 @@ class VectorizedFairShareAllocator:
         self._key_of[slot] = None
         self._free.append(slot)
         return slot
+
+    def remove_flows(self, flows: Sequence[Hashable]) -> None:
+        """Bulk :meth:`remove_flow` for one completion wave.
+
+        Member counts for all routed rows drop via a single
+        ``bincount`` (bin 0 is the incidence pad and must stay
+        untouched); freed slots enter the free-list in iteration
+        order, exactly as sequential removals would have pushed them.
+        """
+        slot_of = self._slot_of
+        key_of = self._key_of
+        routed_mask = self._routed_mask
+        slots: List[int] = []
+        routed_slots: List[int] = []
+        for flow in flows:
+            slot = slot_of.pop(flow, None)
+            if slot is None:
+                raise KeyError(f"flow {flow!r} is not active")
+            slots.append(slot)
+            if routed_mask[slot]:
+                routed_slots.append(slot)
+                routed_mask[slot] = False
+            key_of[slot] = None
+        if routed_slots:
+            counts = np.bincount(self._inc[routed_slots].ravel(),
+                                 minlength=self._n_base.shape[0])
+            counts[0] = 0
+            self._n_base -= counts
+            self._inc[routed_slots] = 0
+            self._routed -= len(routed_slots)
+        index = np.asarray(slots, dtype=np.intp)
+        self._caps[index] = np.inf
+        self._rates[index] = 0.0
+        self._free.extend(slots)
 
     def slot_of(self, flow: Hashable) -> int:
         return self._slot_of[flow]
@@ -383,6 +521,60 @@ class VectorizedFlowState:
             self._delivered[slot] = 0.0
             self.links_dirty = True
         self.allocator.remove_flow(flow.flow_id)
+
+    def add_batch(self, flows: Sequence[object]) -> List[int]:
+        """Bulk :meth:`add` for one admission wave.
+
+        The allocator hands back slots in the same order sequential
+        adds would, so the sequence numbers assigned here (one
+        ``arange``) are indistinguishable from per-flow admission.
+        """
+        slots = self.allocator.add_flows(
+            [(flow.flow_id, flow.links, flow.max_rate) for flow in flows])
+        flow_list = self._flows
+        for flow, slot in zip(flows, slots):
+            if slot == len(flow_list):
+                flow_list.append(flow)
+            else:
+                flow_list[slot] = flow
+        index = np.asarray(slots, dtype=np.intp)
+        self._remaining[index] = [flow.remaining for flow in flows]
+        self._delivered[index] = 0.0
+        self._seq[index] = np.arange(self._next_seq,
+                                     self._next_seq + len(flows),
+                                     dtype=np.int64)
+        self._next_seq += len(flows)
+        return slots
+
+    def remove_batch(self, flows: Sequence[object]) -> None:
+        """Bulk :meth:`remove` for one completion wave.
+
+        The delivered-bytes fold stays a per-flow python loop in wave
+        order: float addition is not associative, so regrouping the
+        per-link sums would perturb ``link_bytes`` bitwise.  Only the
+        allocator teardown (incidence clear, member counts, free-list)
+        is batched.
+        """
+        allocator = self.allocator
+        slot_of = allocator._slot_of
+        remaining = self._remaining
+        delivered_arr = self._delivered
+        flow_list = self._flows
+        inc = allocator._inc
+        for flow in flows:
+            slot = slot_of[flow.flow_id]
+            flow.remaining = float(remaining[slot])
+            remaining[slot] = np.inf
+            flow_list[slot] = None
+            delivered = float(delivered_arr[slot])
+            if delivered:
+                acc = self._grown_acc()
+                for link_id in inc[slot].tolist():
+                    if link_id:
+                        acc[link_id] += delivered
+                delivered_arr[slot] = 0.0
+                self.links_dirty = True
+        allocator.remove_flows([flow.flow_id for flow in flows])
 
     def _grown_acc(self) -> np.ndarray:
         """The per-link accumulator, grown to match the link universe."""

@@ -132,8 +132,12 @@ class Signal(_Waitable):
         self._fired = False
         self._payload: Any = None
         self._exception: Optional[BaseException] = None
-        self._waiters: List[Process] = []
-        self._callbacks: List[Callable[[Any], None]] = []
+        # Waiter/callback lists are allocated on first registration:
+        # most signals in a large run (flow completions nobody waits
+        # on) fire with zero waiters, so the two empty lists would be
+        # pure allocation overhead.
+        self._waiters: Optional[List[Process]] = None
+        self._callbacks: Optional[List[Callable[[Any], None]]] = None
 
     @property
     def fired(self) -> bool:
@@ -147,6 +151,8 @@ class Signal(_Waitable):
         """Register a plain callback invoked with the payload on fire."""
         if self._fired:
             self.sim.schedule(0.0, callback, self._payload)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
 
@@ -155,12 +161,14 @@ class Signal(_Waitable):
             raise SimulationError(f"signal {self.name!r} fired twice")
         self._fired = True
         self._payload = payload
-        waiters, self._waiters = self._waiters, []
-        callbacks, self._callbacks = self._callbacks, []
-        for process in waiters:
-            self.sim.schedule(0.0, process._resume, payload)
-        for callback in callbacks:
-            self.sim.schedule(0.0, callback, payload)
+        waiters, self._waiters = self._waiters, None
+        callbacks, self._callbacks = self._callbacks, None
+        if waiters:
+            for process in waiters:
+                self.sim.schedule(0.0, process._resume, payload)
+        if callbacks:
+            for callback in callbacks:
+                self.sim.schedule(0.0, callback, payload)
 
     def fail(self, exception: BaseException) -> None:
         """Fire the signal exceptionally: waiters get ``exception`` thrown."""
@@ -168,10 +176,11 @@ class Signal(_Waitable):
             raise SimulationError(f"signal {self.name!r} fired twice")
         self._fired = True
         self._exception = exception
-        waiters, self._waiters = self._waiters, []
-        self._callbacks = []
-        for process in waiters:
-            self.sim.schedule(0.0, process._throw, exception)
+        waiters, self._waiters = self._waiters, None
+        self._callbacks = None
+        if waiters:
+            for process in waiters:
+                self.sim.schedule(0.0, process._throw, exception)
 
     def _add_waiter(self, process: "Process") -> None:
         if self._fired:
@@ -179,11 +188,13 @@ class Signal(_Waitable):
                 self.sim.schedule(0.0, process._throw, self._exception)
             else:
                 self.sim.schedule(0.0, process._resume, self._payload)
+        elif self._waiters is None:
+            self._waiters = [process]
         else:
             self._waiters.append(process)
 
     def _remove_waiter(self, process: "Process") -> None:
-        if process in self._waiters:
+        if self._waiters and process in self._waiters:
             self._waiters.remove(process)
 
 

@@ -97,6 +97,16 @@ class Store:
         else:
             self._items.append(item)
 
+    def peek(self) -> Any:
+        """The oldest queued item without removing it (``None`` if empty).
+
+        Lets synchronous consumers inspect what :meth:`get` would
+        deliver — e.g. a shuffle wave deciding whether the next map
+        output can join a batched admission or needs the yielding
+        recovery path.
+        """
+        return self._items[0] if self._items else None
+
     def get(self) -> Signal:
         """Return a signal firing with the next item."""
         ticket = self.sim.signal(name=f"{self.name}.get")

@@ -375,22 +375,21 @@ def test_bottlenecked_flows_skips_missing_and_coerces():
 def _reset_counter_streams():
     """Rewind the process-global id streams the capture bytes embed.
 
-    Job/container/block/flow ids come from module-level
-    ``itertools.count`` streams, so the *second* simulation in one
-    process would differ in ids (and the ports derived from them) for
-    reasons that have nothing to do with the engine under test.
+    Job/container/block ids come from module-level ``itertools.count``
+    streams, so the *second* simulation in one process would differ in
+    ids (and the ports derived from them) for reasons that have nothing
+    to do with the engine under test.  Flow ids no longer need
+    rewinding: each backend owns its own stream.
     """
     import itertools
 
     import repro.hdfs.blocks as blocks
     import repro.jobs.base as jobs_base
-    import repro.net.flow as flow_mod
     import repro.yarn.containers as containers
 
     jobs_base._job_counter = itertools.count(1)
     containers._container_ids = itertools.count(1)
     blocks._block_ids = itertools.count(1)
-    flow_mod._flow_ids = itertools.count(1)
 
 
 def _run_terasort_engine(engine):
