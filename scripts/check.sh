@@ -58,7 +58,16 @@ python -m pytest tests/test_fairshare_incremental.py tests/test_engine_axis.py -
 echo "== batched-admission differential suite =="
 python -m pytest tests/test_flow_batching.py -q
 
-# 7. Telemetry null-path smoke: an un-configured run must emit zero
+# 7. Live-observability gate: the serve daemon, the aggregate merge
+#    layer and the alert engine — including the mid-run /metrics
+#    liveness test and the byte-identity-with-server-attached test.
+#    Redundant with tier-1 on a full run, explicit so scoped runs
+#    still exercise the daemon end to end.
+echo "== live-observability suite =="
+python -m pytest tests/test_obs_server.py tests/test_obs_aggregate.py \
+    tests/test_obs_alerts.py -q
+
+# 8. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.
 echo "== telemetry null-path smoke =="
 python - <<'EOF'

@@ -24,6 +24,10 @@
 #                          overhead in microseconds, speedup, byte-identity
 #                          flags and a >=4096-host scale run
 #                          (benchmarks/bench_flow_batching.py)
+#   BENCH_serve.json     — live observability daemon: campaign wall time
+#                          bare vs served-and-scraped, byte-identity of
+#                          the captures, alert liveness
+#                          (benchmarks/bench_serve_overhead.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -72,5 +76,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_flow_batching.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_serve_overhead.py \
     -m benchmark_suite \
     -q -s "$@"

@@ -11,12 +11,17 @@ Subcommands mirror the pipeline stages::
     keddah export   trace.jsonl --format ns3 -o replay.cc
     keddah report   trace.jsonl --telemetry telemetry/
     keddah trace    telemetry/spans.jsonl --kinds job,stage,task
+    keddah serve    --telemetry telemetry/ --port 9109 --alerts rules.json
+    keddah top      http://127.0.0.1:9109
 
 Every command reads/writes the JSONL trace and JSON model formats, so
 stages can be mixed with externally produced data.  ``capture`` and
 ``campaign`` accept ``--telemetry DIR`` to observe the run (metrics,
 probes, spans) without changing the captured bytes; ``report`` and
-``trace`` read those artefacts back.
+``trace`` read those artefacts back.  ``campaign --serve-port N``
+attaches the live observability daemon for the duration of the run;
+``serve`` exposes a telemetry directory standalone; ``top`` renders a
+one-shot cluster view from either.
 """
 
 from __future__ import annotations
@@ -142,6 +147,41 @@ def build_parser() -> argparse.ArgumentParser:
                                "(worker span streams stay per-process)")
     campaign.add_argument("-o", "--output", default=None,
                           help="optional directory for per-point trace files")
+    campaign.add_argument("--serve-port", type=int, default=None, metavar="N",
+                          help="attach the live observability daemon on this "
+                               "port (0 = ephemeral) for the duration of the "
+                               "run: /metrics, /events progress stream, ...")
+    campaign.add_argument("--serve-host", default="127.0.0.1",
+                          help="bind address for --serve-port")
+    campaign.add_argument("--alerts", default=None, metavar="RULES.json",
+                          help="alert rule file evaluated live during the "
+                               "run (with --serve-port)")
+
+    serve = sub.add_parser(
+        "serve", help="serve a telemetry directory over HTTP "
+                      "(Prometheus /metrics, JSON endpoints, SSE /events)")
+    serve.add_argument("--telemetry", required=True, metavar="DIR",
+                       help="telemetry directory to serve (reloaded as the "
+                            "artefacts change, tolerant of mid-write state)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="port to bind (0 = ephemeral, printed on start)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--alerts", default=None, metavar="RULES.json",
+                       help="alert rule file (threshold/derivative/absence "
+                            "rules over metrics and probe series)")
+    serve.add_argument("--alert-interval", type=float, default=1.0,
+                       metavar="S", help="wall seconds between alert "
+                                         "evaluation passes")
+    serve.add_argument("--for-seconds", type=float, default=None, metavar="S",
+                       help="serve for this long then exit (tests/demos); "
+                            "default: until interrupted")
+
+    top = sub.add_parser(
+        "top", help="one-shot cluster view: metrics + probes from a running "
+                    "serve daemon (URL) or a telemetry directory")
+    top.add_argument("source",
+                     help="http(s)://host:port of a serve daemon, or a "
+                          "telemetry directory path")
 
     store_cmd = sub.add_parser(
         "store", help="inspect, scrub or clear the persistent capture store")
@@ -286,6 +326,15 @@ def _telemetry_from_args(args: argparse.Namespace):
     return Telemetry.enabled_in_memory(probe_interval=interval)
 
 
+def _alert_engine(rules_path: Optional[str], broker):
+    """An AlertEngine over a rule file, or None without one."""
+    if not rules_path:
+        return None
+    from repro.obs import AlertEngine, load_rules
+
+    return AlertEngine(load_rules(rules_path), broker=broker)
+
+
 def _write_telemetry_dir(telemetry, directory: str) -> None:
     from repro.obs.export import write_telemetry
 
@@ -397,13 +446,35 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     previous_store = get_store()
     set_store(store)
     telemetry = _telemetry_from_args(args)
+    server = None
+    broker = None
+    if args.serve_port is not None:
+        from repro.obs import EventBroker, Telemetry
+        from repro.obs.server import serve_telemetry
+
+        if telemetry is None:
+            # Registry-only live view: counters still work on a
+            # disabled telemetry, captures stay byte-identical.
+            telemetry = Telemetry.disabled()
+        broker = EventBroker()
+        engine = _alert_engine(args.alerts, broker)
+        server = serve_telemetry(telemetry, port=args.serve_port,
+                                 host=args.serve_host, broker=broker,
+                                 engine=engine)
+        print(f"live observability at {server.url} "
+              f"(/metrics /snapshot /probes /spans /alerts /events)")
     runner = make_runner(workers, telemetry=telemetry, retry_policy=policy,
-                         journal=journal, quarantine=quarantine, strict=False)
+                         journal=journal, quarantine=quarantine, strict=False,
+                         events=broker)
     started = time.perf_counter()
     try:
         outcomes = runner.run(points)
     finally:
         elapsed = time.perf_counter() - started
+        if server is not None:
+            print(f"serve daemon: {server.requests_served} request(s), "
+                  f"{server.broker.published} event(s) published")
+            server.stop()
 
     table = Table(title=f"campaign: {len(args.jobs)} job(s) x {len(sizes)} "
                         f"size(s), {workers} worker(s)",
@@ -442,7 +513,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                  f"{store_stats['misses']} miss(es), "
                  f"{store_stats['writes']} write(s)")
     print(line)
-    if telemetry is not None:
+    if telemetry is not None and args.telemetry:
         _write_telemetry_dir(telemetry, args.telemetry)
     if args.output:
         paths = save_traces([trace for _, trace in
@@ -775,6 +846,83 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.obs import EventBroker
+    from repro.obs.server import ENDPOINTS, serve_directory
+
+    if not Path(args.telemetry).is_dir():
+        print(f"no telemetry directory at {args.telemetry} "
+              f"(run capture/campaign --telemetry DIR first)")
+        return 2
+    broker = EventBroker()
+    engine = _alert_engine(args.alerts, broker)
+    server = serve_directory(args.telemetry, port=args.port, host=args.host,
+                             broker=broker, engine=engine,
+                             alert_interval=args.alert_interval)
+    print(f"serving telemetry dir {args.telemetry} at {server.url}")
+    print(f"endpoints: {' '.join(ENDPOINTS)}")
+    if engine is not None:
+        print(f"alerts: {len(engine.rules)} rule(s) from {args.alerts}, "
+              f"evaluated every {args.alert_interval}s")
+    try:
+        if args.for_seconds is not None:
+            time.sleep(args.for_seconds)
+        else:
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    print(f"served {server.requests_served} request(s)")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.export import metrics_table, probes_table
+    from repro.obs.probes import ProbeLog
+
+    if args.source.startswith(("http://", "https://")):
+        import json as _json
+        from urllib.request import urlopen
+
+        base = args.source.rstrip("/")
+
+        def _fetch(endpoint):
+            with urlopen(f"{base}{endpoint}", timeout=10) as response:
+                return _json.loads(response.read().decode("utf-8"))
+
+        try:
+            health = _fetch("/healthz")
+            metrics = _fetch("/snapshot")
+            probes = ProbeLog.from_dict(_fetch("/probes"))
+        except OSError as exc:
+            print(f"cannot reach serve daemon at {base}: {exc}")
+            return 2
+        source = health.get("source", {})
+        print(f"{base}: {source.get('kind', '?')} source, "
+              f"up {health.get('uptime_s', 0):.0f}s, "
+              f"{health.get('requests_served', 0)} request(s) served")
+        firing = health.get("alerts_firing") or []
+        if firing:
+            print(f"ALERTS FIRING: {', '.join(firing)}")
+    else:
+        from repro.obs.export import load_telemetry_dir
+
+        if not Path(args.source).is_dir():
+            print(f"{args.source}: not a URL or telemetry directory")
+            return 2
+        metrics, probes, _ = load_telemetry_dir(args.source)
+    print(render_table(metrics_table(
+        metrics, title=f"cluster metrics ({args.source})")))
+    if probes.series:
+        print()
+        print(render_table(probes_table(probes)))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.export import render_span_tree, span_summary_table
     from repro.obs.trace import load_spans
@@ -808,6 +956,8 @@ _COMMANDS = {
     "replay": cmd_replay,
     "export": cmd_export,
     "report": cmd_report,
+    "serve": cmd_serve,
+    "top": cmd_top,
     "trace": cmd_trace,
     "experiment": cmd_experiment,
     "workload": cmd_workload,

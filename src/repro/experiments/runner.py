@@ -62,6 +62,7 @@ from repro.cluster.config import ClusterSpec, HadoopConfig
 from repro.jobs import make_job
 from repro.mapreduce.cluster import HadoopCluster
 from repro.mapreduce.result import JobResult
+from repro.obs.aggregate import AggregateRegistry, EventBroker, delta_envelope
 from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.experiments.store import (
     TRACE_FORMAT_VERSION,
@@ -213,23 +214,36 @@ def _simulate_point(point: CapturePoint) -> Tuple[JobResult, JobTrace]:
 
 def _simulate_point_observed(
         point: CapturePoint, config: Optional[TelemetryConfig],
+        delta_id: Optional[str] = None,
 ) -> Tuple[Tuple[JobResult, JobTrace], Dict[str, Any]]:
-    """Worker entry point that also returns a telemetry snapshot.
+    """Worker entry point that also ships telemetry back to the parent.
 
     The worker builds its own telemetry from the picklable ``config``
-    (span sinks stay per-process — workers default to the null sink)
-    and ships its registry snapshot back for the parent to absorb.
+    (span sinks stay per-process — workers default to the null sink).
+    With a ``delta_id`` (the point's content hash) it returns an
+    identified *delta envelope* — the worker telemetry is fresh per
+    point, so the registry snapshot is exactly the increment — which
+    the parent folds into its :class:`~repro.obs.aggregate.
+    AggregateRegistry`: counters sum, gauges land under this worker's
+    label, and a re-delivered completion merges exactly once.  Without
+    one it returns the legacy plain snapshot.
     """
     telemetry = config.build() if config is not None else Telemetry.disabled()
     value = point.simulate(telemetry=telemetry)
-    return value, telemetry.snapshot()
+    if delta_id is None:
+        return value, telemetry.snapshot()
+    envelope = delta_envelope(telemetry.registry,
+                              source=f"worker-{os.getpid()}",
+                              delta_id=delta_id,
+                              spans_emitted=telemetry.tracer.spans_emitted)
+    return value, envelope
 
 
 #: The per-level counters a runner keeps, in presentation order.
-_RUNNER_STAT_FIELDS = ("points", "memo_hits", "store_hits", "simulated",
-                       "parallel_simulated", "resumed_points", "retries",
-                       "deadline_kills", "quarantined", "pool_failures",
-                       "degraded_serial")
+_RUNNER_STAT_FIELDS = ("points", "points_completed", "memo_hits",
+                       "store_hits", "simulated", "parallel_simulated",
+                       "resumed_points", "retries", "deadline_kills",
+                       "quarantined", "pool_failures", "degraded_serial")
 
 
 @dataclass
@@ -242,6 +256,7 @@ class RunnerStats:
     """
 
     points: int = 0
+    points_completed: int = 0
     memo_hits: int = 0
     store_hits: int = 0
     simulated: int = 0
@@ -315,7 +330,8 @@ class CampaignRunner:
                  retry_policy: Optional[RetryPolicy] = None,
                  quarantine: Optional[Quarantine] = None,
                  journal: Optional[CheckpointJournal] = None,
-                 strict: bool = True, pool_failure_limit: int = 3):
+                 strict: bool = True, pool_failure_limit: int = 3,
+                 events: Optional[EventBroker] = None):
         self.store = store
         self.workers = max(1, int(workers))
         self._memo_get = memo_get or (lambda key: None)
@@ -326,7 +342,17 @@ class CampaignRunner:
         self.journal = journal
         self.strict = strict
         self.pool_failure_limit = max(1, int(pool_failure_limit))
+        # Worker registry deltas fold in here: counters sum into the
+        # runner telemetry's registry, gauges land per-worker, and a
+        # re-delivered completion merges exactly once.  The serve
+        # daemon reads the same registry, so the aggregate IS the live
+        # cluster-wide view.
+        self.aggregate = AggregateRegistry(self.telemetry.registry)
+        # Optional live progress stream (campaign/point events) for the
+        # serve daemon's /events endpoint.
+        self.events = events
         self.failures: List[PointFailure] = []
+        self._total_points = 0
         registry = self.telemetry.registry
         self._counters = {name: registry.counter(f"campaign.{name}")
                           for name in _RUNNER_STAT_FIELDS}
@@ -339,6 +365,37 @@ class CampaignRunner:
 
     def _count(self, name: str, amount: int = 1) -> None:
         self._counters[name].value += amount
+
+    def _publish(self, kind: str, **payload: Any) -> None:
+        """Emit a live progress event when a broker is attached."""
+        if self.events is not None:
+            self.events.publish(kind, **payload)
+
+    def _resolved(self, point: CapturePoint, origin: str) -> None:
+        """Count one completed point and stream a progress event.
+
+        Called at resolution time — inside the serial loop / the pool's
+        fan-in — so a live observer sees ``campaign.points_completed``
+        advance *during* the run, not after it.
+        """
+        self._count("points_completed")
+        self._publish("point", status="completed", origin=origin,
+                      job=point.job, input_gb=point.input_gb,
+                      seed=point.seed,
+                      completed=int(self._counters["points_completed"].value),
+                      total=self._total_points)
+
+    def _absorb(self, envelope: Optional[Dict[str, Any]]) -> None:
+        """Fold a worker's telemetry return into the parent registry.
+
+        Identified delta envelopes (``source`` key) go through the
+        aggregate — idempotent per (source, delta_id), gauges labelled
+        per worker; legacy plain snapshots merge directly.
+        """
+        if envelope and "source" in envelope:
+            self.aggregate.apply(envelope)
+        else:
+            self.telemetry.absorb(envelope)
 
     # -- single point -------------------------------------------------------------
 
@@ -361,6 +418,8 @@ class CampaignRunner:
         pending_points: Dict[str, CapturePoint] = {}
         self.failures = []
         self._count("points", len(points))
+        self._total_points = len(points)
+        self._publish("campaign", status="started", points=len(points))
 
         for index, point in enumerate(points):
             key = point.key()
@@ -373,12 +432,14 @@ class CampaignRunner:
                     self._count("resumed_points")
                     self._memo_put(key, replayed)
                     results[index] = replayed
+                    self._resolved(point, "journal")
                     continue
             hit = self._memo_get(key)
             if hit is not None:
                 self._count("memo_hits")
                 self._checkpoint(point, key, hit)
                 results[index] = hit
+                self._resolved(point, "memo")
                 continue
             if self.store is not None:
                 stored = self.store.get(point.key_dict())
@@ -387,6 +448,7 @@ class CampaignRunner:
                     self._memo_put(key, stored)
                     self._checkpoint(point, key, stored)
                     results[index] = stored
+                    self._resolved(point, "store")
                     continue
             pending[key] = [index]
             pending_points[key] = point
@@ -402,6 +464,12 @@ class CampaignRunner:
                 self._checkpoint(point, key, value)
                 for index in pending[key]:
                     results[index] = value
+                # The first occurrence was already counted live at
+                # resolution time; later (deduplicated) indices settle
+                # here.
+                duplicates = len(pending[key]) - 1
+                if duplicates:
+                    self._count("points_completed", duplicates)
             for failure in failures:
                 self._count("quarantined")
                 self.failures.append(failure)
@@ -409,6 +477,14 @@ class CampaignRunner:
                     self.quarantine.record(failure)
                 if self.journal is not None:
                     self.journal.record_failure(failure)
+                self._publish("point", status="quarantined",
+                              job=failure.job, input_gb=failure.input_gb,
+                              seed=failure.seed, attempts=failure.attempts)
+        self._publish("campaign", status="completed",
+                      points=len(points),
+                      completed=int(
+                          self._counters["points_completed"].value),
+                      quarantined=len(self.failures))
         if self.failures and self.strict:
             raise CampaignPointsFailed(list(self.failures), results)
         return results  # type: ignore[return-value]
@@ -459,6 +535,7 @@ class CampaignRunner:
             while True:
                 try:
                     resolved[key] = point.simulate(telemetry=self.telemetry)
+                    self._resolved(point, "simulated")
                     break
                 except Exception as exc:
                     state.attempts += 1
@@ -557,7 +634,7 @@ class CampaignRunner:
         """
         policy = self.retry_policy
         futures = {pool.submit(_simulate_point_observed, state[key].point,
-                               worker_config): key
+                               worker_config, key): key
                    for key in round_keys}
         started = {key: _time.monotonic() for key in round_keys}
         expired: set = set()
@@ -594,9 +671,10 @@ class CampaignRunner:
                     self._point_failed(key, state[key], exc, unresolved,
                                        failures, ready_at)
                     continue
-                self.telemetry.absorb(snapshot)
+                self._absorb(snapshot)
                 resolved[key] = value
                 unresolved.discard(key)
+                self._resolved(state[key].point, "simulated")
             if saw_break:
                 # A broken pool fails all outstanding futures promptly;
                 # drop the timeout and drain them.

@@ -14,8 +14,28 @@ The single facade the engine is instrumented through::
 Everything is disabled by default: an un-configured run keeps its
 counters (they replaced the old ad-hoc perf dicts) but emits no spans,
 schedules no probes and allocates no sinks.
+
+The live-observability daemon (:class:`repro.obs.server.
+ObservabilityServer` — ``keddah serve``) is deliberately *not*
+re-exported here: importing it pulls in ``http.server``, which the
+simulation hot path never needs.
 """
 
+from repro.obs.aggregate import (
+    AggregateRegistry,
+    DeltaTracker,
+    EventBroker,
+    Subscription,
+    delta_envelope,
+    registry_delta,
+)
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    load_rules,
+    parse_rule,
+    parse_rules,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -44,10 +64,21 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AggregateRegistry",
+    "AlertEngine",
+    "AlertRule",
     "DEFAULT_BUCKETS",
     "DEFAULT_PROBE_INTERVAL",
     "ClusterProbes",
     "Counter",
+    "DeltaTracker",
+    "EventBroker",
+    "Subscription",
+    "delta_envelope",
+    "load_rules",
+    "parse_rule",
+    "parse_rules",
+    "registry_delta",
     "FileSink",
     "Gauge",
     "Histogram",

@@ -1,0 +1,330 @@
+"""Alert rules over live telemetry: threshold, derivative and absence.
+
+A rule watches one *signal* — either a probe series
+(``"probe:net.link_utilisation_max"``) or a registry metric
+(``"metric:sim.events_fired"``) — and declares when it is breached:
+
+``threshold``
+    the signal's current value compared against ``value`` with ``op``
+    (``net.link_utilisation_max > 0.95``);
+``derivative``
+    the signal's rate of change compared against ``value``.  For probe
+    series the slope is taken over the trailing ``window_s`` of
+    *simulated* time using the samples' actual (possibly irregular)
+    timestamps; for registry metrics it is the change between
+    successive evaluations divided by the real evaluation gap;
+``absence``
+    fires when the signal has gone silent: a probe series with no
+    sample in the last ``window_s``, or a metric that is not registered
+    at all.
+
+Rules are plain dicts (JSON-friendly)::
+
+    {"name": "hot-links", "signal": "probe:net.link_utilisation_max",
+     "type": "threshold", "op": ">", "value": 0.95, "for_s": 2.0}
+
+``for_s`` debounces: the breach must hold continuously that long before
+the rule transitions to *firing*.  The engine is edge-triggered — each
+:meth:`AlertEngine.evaluate` returns only the firing/resolved
+*transitions*, publishes them on the event broker (kind ``alert``) and
+records them on the trace sink as zero-duration events, so alerts land
+in the same ``/events`` stream and span files as everything else.
+"""
+
+from __future__ import annotations
+
+import json
+import operator
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.probes import ProbeLog
+
+RULE_TYPES = ("threshold", "derivative", "absence")
+
+OPS = {">": operator.gt, ">=": operator.ge,
+       "<": operator.lt, "<=": operator.le,
+       "==": operator.eq, "!=": operator.ne}
+
+_RULE_KEYS = {"name", "signal", "type", "op", "value", "window_s", "for_s"}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative rule (see module docstring for the schema)."""
+
+    name: str
+    signal: str                  # "probe:<series>" or "metric:<name>"
+    type: str = "threshold"
+    op: str = ">"
+    value: float = 0.0
+    window_s: float = 5.0        # derivative lookback / absence silence
+    for_s: float = 0.0           # sustain duration before firing
+
+    def __post_init__(self):
+        if self.type not in RULE_TYPES:
+            raise ValueError(f"rule {self.name!r}: unknown type "
+                             f"{self.type!r} (want one of {RULE_TYPES})")
+        if self.op not in OPS:
+            raise ValueError(f"rule {self.name!r}: unknown op {self.op!r} "
+                             f"(want one of {sorted(OPS)})")
+        kind, _, rest = self.signal.partition(":")
+        if kind not in ("probe", "metric") or not rest:
+            raise ValueError(f"rule {self.name!r}: bad signal "
+                             f"{self.signal!r} (want 'probe:<series>' or "
+                             f"'metric:<name>')")
+        if self.type in ("derivative", "absence") and self.window_s <= 0:
+            raise ValueError(f"rule {self.name!r}: {self.type} rules need "
+                             f"window_s > 0")
+        if self.for_s < 0:
+            raise ValueError(f"rule {self.name!r}: for_s must be >= 0")
+
+    @property
+    def signal_kind(self) -> str:
+        return self.signal.partition(":")[0]
+
+    @property
+    def signal_name(self) -> str:
+        return self.signal.partition(":")[2]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "signal": self.signal, "type": self.type,
+                "op": self.op, "value": self.value,
+                "window_s": self.window_s, "for_s": self.for_s}
+
+
+def parse_rule(data: Mapping[str, Any]) -> AlertRule:
+    """Validate one rule dict (unknown keys are an error, not a typo trap)."""
+    unknown = set(data) - _RULE_KEYS
+    if unknown:
+        raise ValueError(f"alert rule has unknown key(s) "
+                         f"{sorted(unknown)}; known: {sorted(_RULE_KEYS)}")
+    if "name" not in data or "signal" not in data:
+        raise ValueError("alert rule needs at least 'name' and 'signal'")
+    kwargs = dict(data)
+    for key in ("value", "window_s", "for_s"):
+        if key in kwargs:
+            kwargs[key] = float(kwargs[key])
+    return AlertRule(**kwargs)
+
+
+def parse_rules(data: Union[Sequence[Any], Mapping[str, Any]]
+                ) -> List[AlertRule]:
+    """Rules from a JSON document: a list, or ``{"rules": [...]}``."""
+    if isinstance(data, Mapping):
+        data = data.get("rules", [])
+    rules = [parse_rule(entry) for entry in data]
+    names = [rule.name for rule in rules]
+    duplicates = {name for name in names if names.count(name) > 1}
+    if duplicates:
+        raise ValueError(f"duplicate alert rule name(s): {sorted(duplicates)}")
+    return rules
+
+
+def load_rules(path: Union[str, Path]) -> List[AlertRule]:
+    """Rules from a JSON file (what ``--alerts rules.json`` points at)."""
+    return parse_rules(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+# -- evaluation ----------------------------------------------------------------------
+
+
+def metric_value(metrics: Union[MetricsRegistry, Iterable[Dict[str, Any]],
+                                None], name: str) -> Optional[float]:
+    """A metric's value from a live registry *or* a snapshot list.
+
+    Histograms read as their observation count.  Multiple label sets of
+    the same name sum for counters/histograms and take the last write
+    for gauges — the aggregate view a rule wants.  ``None`` when the
+    metric is not present at all (that is what absence rules test).
+    """
+    if metrics is None:
+        return None
+    if isinstance(metrics, MetricsRegistry):
+        metrics = metrics.snapshot()
+    total: Optional[float] = None
+    for entry in metrics:
+        if entry["name"] != name:
+            continue
+        if entry["type"] == "histogram":
+            value = float(entry["count"])
+        else:
+            value = float(entry["value"])
+        if entry["type"] == "gauge":
+            total = value                     # last write wins
+        else:
+            total = (total or 0.0) + value    # counters/histograms sum
+    return total
+
+
+@dataclass
+class AlertState:
+    """Mutable per-rule evaluation state."""
+
+    firing: bool = False
+    pending_since: Optional[float] = None  # breach observed, for_s not yet met
+    since: Optional[float] = None          # firing since
+    value: Optional[float] = None          # last evaluated signal value
+    last_t: Optional[float] = None         # metric-derivative bookkeeping
+    last_metric: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"firing": self.firing, "since": self.since,
+                "value": self.value}
+
+
+class AlertEngine:
+    """Evaluates a rule set and emits firing/resolved transitions.
+
+    ``broker`` (an :class:`~repro.obs.aggregate.EventBroker`) and
+    ``tracer`` (a :class:`~repro.obs.trace.Tracer`) are both optional;
+    transitions are always returned and kept in :attr:`events` (bounded
+    to the most recent ``history``).
+    """
+
+    def __init__(self, rules: Iterable[AlertRule], broker=None, tracer=None,
+                 history: int = 256):
+        self.rules = list(rules)
+        self.broker = broker
+        self.tracer = tracer
+        self.states: Dict[str, AlertState] = {rule.name: AlertState()
+                                              for rule in self.rules}
+        self.events: List[Dict[str, Any]] = []
+        self.evaluations = 0
+        self._history = history
+
+    def firing(self) -> List[str]:
+        return sorted(name for name, state in self.states.items()
+                      if state.firing)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"rules": [rule.to_dict() for rule in self.rules],
+                "states": {rule.name: self.states[rule.name].to_dict()
+                           for rule in self.rules},
+                "evaluations": self.evaluations,
+                "events": list(self.events)}
+
+    # -- one evaluation pass -------------------------------------------------------
+
+    def evaluate(self, metrics=None, probes: Optional[ProbeLog] = None,
+                 now: float = 0.0) -> List[Dict[str, Any]]:
+        """Evaluate every rule at time ``now``; return the transitions.
+
+        ``metrics`` is a live :class:`MetricsRegistry` or a snapshot
+        list; ``probes`` a :class:`ProbeLog`.  ``now`` is the time the
+        signals are measured in (simulated seconds for live runs and
+        telemetry dirs alike) — derivative windows and ``for_s``
+        debouncing are computed against it.
+        """
+        self.evaluations += 1
+        transitions: List[Dict[str, Any]] = []
+        for rule in self.rules:
+            state = self.states[rule.name]
+            breach, value = self._breached(rule, state, metrics, probes, now)
+            state.value = value
+            transition = self._advance(rule, state, breach, value, now)
+            if transition is not None:
+                transitions.append(transition)
+        return transitions
+
+    def _advance(self, rule: AlertRule, state: AlertState,
+                 breach: Optional[bool], value: Optional[float],
+                 now: float) -> Optional[Dict[str, Any]]:
+        """Debounce + edge-detect one rule; emit on transition."""
+        if breach is None:          # signal not evaluable this round
+            return None
+        if breach:
+            if state.firing:
+                return None
+            if state.pending_since is None:
+                state.pending_since = now
+            if now - state.pending_since < rule.for_s:
+                return None
+            state.firing = True
+            state.since = state.pending_since
+            return self._emit(rule, "firing", value, now)
+        state.pending_since = None
+        if not state.firing:
+            return None
+        state.firing = False
+        state.since = None
+        return self._emit(rule, "resolved", value, now)
+
+    def _emit(self, rule: AlertRule, status: str, value: Optional[float],
+              now: float) -> Dict[str, Any]:
+        event = {"rule": rule.name, "status": status, "signal": rule.signal,
+                 "type": rule.type, "op": rule.op, "threshold": rule.value,
+                 "value": value, "t": now}
+        self.events.append(event)
+        del self.events[:-self._history]
+        if self.broker is not None:
+            self.broker.publish("alert", **event)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.event(f"alert:{rule.name}", now, status=status,
+                              signal=rule.signal, value=value,
+                              threshold=rule.value)
+        return event
+
+    # -- signal maths --------------------------------------------------------------
+
+    def _breached(self, rule: AlertRule, state: AlertState, metrics,
+                  probes: Optional[ProbeLog], now: float):
+        """(breach, value) for one rule; breach None = not evaluable."""
+        compare = OPS[rule.op]
+        if rule.signal_kind == "probe":
+            series = (probes.series.get(rule.signal_name)
+                      if probes is not None else None)
+            if rule.type == "absence":
+                if series is None or len(series) == 0:
+                    return True, None
+                silent = now - series.times[-1]
+                return silent > rule.window_s, series.times[-1]
+            if series is None or len(series) == 0:
+                return None, None
+            if rule.type == "threshold":
+                value = series.values[-1]
+                return compare(value, rule.value), value
+            slope = _series_slope(series, now, rule.window_s)
+            if slope is None:
+                return None, None
+            return compare(slope, rule.value), slope
+        # metric:<name>
+        value = metric_value(metrics, rule.signal_name)
+        if rule.type == "absence":
+            return value is None, value
+        if value is None:
+            return None, None
+        if rule.type == "threshold":
+            return compare(value, rule.value), value
+        # metric derivative: change between successive evaluations.
+        previous_t, previous_v = state.last_t, state.last_metric
+        state.last_t, state.last_metric = now, value
+        if previous_t is None or now <= previous_t:
+            return None, None
+        rate = (value - previous_v) / (now - previous_t)
+        return compare(rate, rule.value), rate
+
+
+def _series_slope(series, now: float, window_s: float) -> Optional[float]:
+    """Rate of change over the trailing window of a probe series.
+
+    Uses the first and last samples whose timestamps fall inside
+    ``[now - window_s, now]`` — the samples' *actual* spacing divides,
+    so irregular cadences (downsampled series, event-driven probes)
+    produce correct rates.
+    """
+    horizon = now - window_s
+    times, values = series.times, series.values
+    first = None
+    for index in range(len(times) - 1, -1, -1):
+        if times[index] < horizon:
+            break
+        first = index
+    if first is None or first == len(times) - 1:
+        return None
+    dt = times[-1] - times[first]
+    if dt <= 0:
+        return None
+    return (values[-1] - values[first]) / dt

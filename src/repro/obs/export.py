@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import json
 import re
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -41,22 +42,46 @@ def _prom_name(name: str) -> str:
     return _NAME_RE.sub("_", name)
 
 
+def _escape_label_value(value: str) -> str:
+    """Label-value escaping per the Prometheus exposition format spec:
+    backslash, double-quote and newline must be escaped inside the
+    quoted value (everything else passes through verbatim)."""
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _escape_help(text: str) -> str:
+    """HELP-text escaping: backslash and newline only (no quotes)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Dict[str, str], extra: Tuple[Tuple[str, str], ...] = ()
                  ) -> str:
     items = list(labels.items()) + list(extra)
     if not items:
         return ""
-    body = ",".join(f'{_prom_name(key)}="{value}"' for key, value in items)
+    body = ",".join(f'{_prom_name(key)}="{_escape_label_value(value)}"'
+                    for key, value in items)
     return "{" + body + "}"
 
 
-def prometheus_text(registry: MetricsRegistry) -> str:
-    """The registry in Prometheus exposition format (text, UTF-8)."""
+def prometheus_text(registry: MetricsRegistry,
+                    help_texts: Optional[Dict[str, str]] = None) -> str:
+    """The registry in Prometheus exposition format (text, UTF-8).
+
+    Every metric family gets a ``# HELP`` and ``# TYPE`` header —
+    gauges included — and label values are escaped per the exposition
+    spec.  ``help_texts`` (dotted metric name -> description) overrides
+    the default help line.
+    """
     lines: List[str] = []
     seen_types: set = set()
     for metric in registry.metrics():
         name = _prom_name(metric.name)
         if name not in seen_types:
+            help_text = (help_texts or {}).get(
+                metric.name, f"keddah metric {metric.name}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
             lines.append(f"# TYPE {name} {metric.kind}")
             seen_types.add(name)
         labels = dict(metric.labels)
@@ -112,27 +137,56 @@ def write_telemetry(telemetry: Telemetry, directory: str | Path) -> List[Path]:
     return paths
 
 
-def load_telemetry_dir(directory: str | Path
+def load_telemetry_dir(directory: str | Path, strict: bool = False
                        ) -> Tuple[List[Dict[str, Any]], ProbeLog, List[Span]]:
     """Read back (metrics snapshot, probe log, spans) from a directory.
 
     Missing artefacts load as empty — a campaign telemetry directory
-    has metrics but no span stream, and that is fine.
+    has metrics but no span stream, and that is fine.  By default the
+    loader also *degrades* on damage: the serve daemon reads
+    directories mid-write, so a truncated ``spans.jsonl`` or a
+    half-written ``probes.json`` produces a :class:`UserWarning` and an
+    empty artefact instead of an exception.  Pass ``strict=True`` to
+    re-raise instead (offline analysis of a dir that should be whole).
     """
     root = Path(directory)
+
+    def _degrade(name: str, exc: Exception):
+        if strict:
+            raise exc
+        warnings.warn(f"telemetry dir {root}: unreadable {name} "
+                      f"({type(exc).__name__}: {exc}); loading it as empty",
+                      stacklevel=2)
+
     metrics: List[Dict[str, Any]] = []
     metrics_path = root / METRICS_JSON
     if metrics_path.is_file():
-        metrics = json.loads(metrics_path.read_text(encoding="utf-8"))
+        try:
+            loaded = json.loads(metrics_path.read_text(encoding="utf-8"))
+            if not isinstance(loaded, list):
+                raise ValueError(f"expected a JSON list, got "
+                                 f"{type(loaded).__name__}")
+            metrics = loaded
+        except (OSError, ValueError) as exc:
+            _degrade(METRICS_JSON, exc)
     probes = ProbeLog()
     probes_path = root / PROBES_JSON
     if probes_path.is_file():
-        probes = ProbeLog.from_dict(
-            json.loads(probes_path.read_text(encoding="utf-8")))
+        try:
+            probes = ProbeLog.from_dict(
+                json.loads(probes_path.read_text(encoding="utf-8")))
+        except (OSError, ValueError, KeyError, TypeError,
+                AttributeError) as exc:
+            _degrade(PROBES_JSON, exc)
+            probes = ProbeLog()
     spans: List[Span] = []
     spans_path = root / SPANS_JSONL
     if spans_path.is_file():
-        spans = load_spans(str(spans_path))
+        try:
+            spans = load_spans(str(spans_path), strict=strict)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            _degrade(SPANS_JSONL, exc)
+            spans = []
     return metrics, probes, spans
 
 

@@ -55,6 +55,7 @@ class TelemetryConfig:
     enabled: bool = False
     probe_interval: float = DEFAULT_PROBE_INTERVAL
     sink: str = "null"
+    probe_max_samples: Optional[int] = None
 
     def build_sink(self) -> TraceSink:
         if not self.enabled or self.sink == "null":
@@ -67,7 +68,8 @@ class TelemetryConfig:
 
     def build(self) -> "Telemetry":
         return Telemetry(enabled=self.enabled, sink=self.build_sink(),
-                         probe_interval=self.probe_interval)
+                         probe_interval=self.probe_interval,
+                         probe_max_samples=self.probe_max_samples)
 
 
 class Telemetry:
@@ -76,7 +78,8 @@ class Telemetry:
     def __init__(self, enabled: bool = False,
                  sink: Optional[TraceSink] = None,
                  probe_interval: float = DEFAULT_PROBE_INTERVAL,
-                 registry: Optional[MetricsRegistry] = None):
+                 registry: Optional[MetricsRegistry] = None,
+                 probe_max_samples: Optional[int] = None):
         self.enabled = enabled
         self.registry = registry if registry is not None else MetricsRegistry()
         if sink is None:
@@ -84,7 +87,8 @@ class Telemetry:
         self.sink = sink
         self.tracer = Tracer(sink=sink, enabled=enabled)
         self.probe_interval = probe_interval if enabled else 0.0
-        self.probes = ProbeLog()
+        self.probe_max_samples = probe_max_samples
+        self.probes = ProbeLog(max_samples=probe_max_samples)
 
     # -- constructors ------------------------------------------------------------
 
@@ -96,10 +100,12 @@ class Telemetry:
     @classmethod
     def enabled_in_memory(cls,
                           probe_interval: float = DEFAULT_PROBE_INTERVAL,
+                          probe_max_samples: Optional[int] = None,
                           ) -> "Telemetry":
         """Telemetry capturing spans in memory (tests, reports)."""
         return cls(enabled=True, sink=MemorySink(),
-                   probe_interval=probe_interval)
+                   probe_interval=probe_interval,
+                   probe_max_samples=probe_max_samples)
 
     # -- campaign aggregation ------------------------------------------------------
 
@@ -108,7 +114,8 @@ class Telemetry:
         return TelemetryConfig(enabled=self.enabled,
                                probe_interval=self.probe_interval or
                                DEFAULT_PROBE_INTERVAL,
-                               sink=sink)
+                               sink=sink,
+                               probe_max_samples=self.probe_max_samples)
 
     def snapshot(self) -> Dict[str, Any]:
         """Picklable registry + tracer counters (what workers return)."""

@@ -1,0 +1,208 @@
+"""Registry deltas, the aggregate merge target and the event broker."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    AggregateRegistry,
+    DeltaTracker,
+    EventBroker,
+    MetricsRegistry,
+    delta_envelope,
+    registry_delta,
+)
+from repro.obs.aggregate import WORKER_LABEL
+
+
+# -- registry_delta / DeltaTracker ---------------------------------------------------
+
+
+def test_counter_delta_carries_only_movement():
+    registry = MetricsRegistry()
+    registry.counter("a").inc(3)
+    registry.counter("b").inc(1)
+    before = registry.snapshot()
+    registry.counter("a").inc(2)
+    delta = registry_delta(before, registry.snapshot())
+    assert [(e["name"], e["value"]) for e in delta] == [("a", 2.0)]
+
+
+def test_new_metrics_appear_whole_and_zero_counters_drop():
+    registry = MetricsRegistry()
+    registry.counter("seen").inc(5)
+    before = registry.snapshot()
+    registry.counter("fresh").inc(7)
+    registry.counter("idle")  # created but never incremented
+    delta = registry_delta(before, registry.snapshot())
+    assert [(e["name"], e["value"]) for e in delta] == [("fresh", 7.0)]
+
+
+def test_gauge_delta_is_its_level():
+    registry = MetricsRegistry()
+    registry.gauge("depth").set(4.0)
+    before = registry.snapshot()
+    registry.gauge("depth").set(9.0)
+    delta = registry_delta(before, registry.snapshot())
+    assert [(e["name"], e["value"]) for e in delta] == [("depth", 9.0)]
+
+
+def test_histogram_delta_is_per_bucket():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", buckets=(1.0, 10.0))
+    hist.observe(0.5)
+    before = registry.snapshot()
+    hist.observe(0.5)
+    hist.observe(5.0)
+    (entry,) = registry_delta(before, registry.snapshot())
+    assert entry["counts"] == [1, 1, 0]
+    assert entry["count"] == 2
+    assert entry["sum"] == pytest.approx(5.5)
+
+
+def test_delta_tracker_deltas_reassemble_the_registry():
+    registry = MetricsRegistry()
+    tracker = DeltaTracker(registry, source="w1")
+    target = AggregateRegistry()
+    registry.counter("points").inc(2)
+    target.apply(tracker.delta())
+    registry.counter("points").inc(3)
+    registry.gauge("depth").set(1.5)
+    target.apply(tracker.delta())
+    assert target.registry.value("points") == 5.0
+    assert target.registry.value("depth", **{WORKER_LABEL: "w1"}) == 1.5
+    # Envelope ids increase per source.
+    assert tracker.delta()["delta_id"] == "seq-3"
+
+
+# -- AggregateRegistry ---------------------------------------------------------------
+
+
+def _worker_envelope(source, delta_id, counter=0.0, gauge=None):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("sim.events_fired").inc(counter)
+    if gauge is not None:
+        registry.gauge("net.active").set(gauge)
+    return delta_envelope(registry, source=source, delta_id=delta_id)
+
+
+def test_counters_sum_unlabeled_across_sources():
+    aggregate = AggregateRegistry()
+    aggregate.apply(_worker_envelope("w1", "p1", counter=10))
+    aggregate.apply(_worker_envelope("w2", "p2", counter=32))
+    # The cluster-wide total lands on the plain, unlabeled counter —
+    # the same series Telemetry.absorb fed, so end-of-run assertions
+    # keep working unchanged.
+    assert aggregate.registry.value("sim.events_fired") == 42.0
+
+
+def test_gauges_get_per_worker_series_instead_of_clobbering():
+    aggregate = AggregateRegistry()
+    aggregate.apply(_worker_envelope("w1", "p1", gauge=3.0))
+    aggregate.apply(_worker_envelope("w2", "p2", gauge=8.0))
+    registry = aggregate.registry
+    assert registry.value("net.active", **{WORKER_LABEL: "w1"}) == 3.0
+    assert registry.value("net.active", **{WORKER_LABEL: "w2"}) == 8.0
+    # Last write wins *within* a source.
+    aggregate.apply(_worker_envelope("w1", "p3", gauge=5.0))
+    assert registry.value("net.active", **{WORKER_LABEL: "w1"}) == 5.0
+
+
+def test_redelivery_is_idempotent():
+    aggregate = AggregateRegistry()
+    envelope = _worker_envelope("w1", "point-abc", counter=7)
+    assert aggregate.apply(envelope) is True
+    assert aggregate.apply(dict(envelope)) is False
+    assert aggregate.registry.value("sim.events_fired") == 7.0
+    assert aggregate.stats()["duplicates_dropped"] == 1
+    # The same delta_id from a different source is a different delta.
+    assert aggregate.apply(_worker_envelope("w2", "point-abc", counter=1))
+    assert aggregate.registry.value("sim.events_fired") == 8.0
+
+
+def test_histograms_bucket_merge_and_mismatch_raises():
+    worker = MetricsRegistry()
+    worker.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+    worker.histogram("lat", buckets=(1.0, 10.0)).observe(20.0)
+    aggregate = AggregateRegistry()
+    aggregate.apply(delta_envelope(worker, source="w1", delta_id="d1"))
+    merged = aggregate.registry.histogram("lat", buckets=(1.0, 10.0))
+    assert merged.counts == [1, 0, 1]
+    assert merged.count == 2
+    bad = MetricsRegistry()
+    bad.histogram("lat", buckets=(2.0, 20.0)).observe(1.0)
+    with pytest.raises(ValueError, match="bucket mismatch"):
+        aggregate.apply(delta_envelope(bad, source="w1", delta_id="d2"))
+
+
+def test_callback_gauges_are_never_overwritten():
+    aggregate = AggregateRegistry()
+    aggregate.registry.gauge("net.active", fn=lambda: 99.0,
+                             **{WORKER_LABEL: "w1"})
+    aggregate.apply(_worker_envelope("w1", "p1", gauge=3.0))
+    assert aggregate.registry.value("net.active", **{WORKER_LABEL: "w1"}) == 99.0
+
+
+def test_aggregate_onto_an_existing_live_registry():
+    live = MetricsRegistry()
+    live.counter("campaign.points").inc(4)
+    aggregate = AggregateRegistry(live)
+    aggregate.apply(_worker_envelope("w1", "p1", counter=6))
+    assert live.value("campaign.points") == 4.0
+    assert live.value("sim.events_fired") == 6.0
+    assert aggregate.sources() == ["w1"]
+
+
+def test_concurrent_apply_is_safe():
+    aggregate = AggregateRegistry()
+
+    def worker(source):
+        for index in range(50):
+            aggregate.apply(_worker_envelope(source, f"d{index}", counter=1))
+
+    threads = [threading.Thread(target=worker, args=(f"w{n}",))
+               for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert aggregate.registry.value("sim.events_fired") == 200.0
+    assert aggregate.stats()["deltas_applied"] == 200
+
+
+# -- EventBroker ---------------------------------------------------------------------
+
+
+def test_broker_delivers_and_stamps_sequence():
+    broker = EventBroker()
+    subscription = broker.subscribe()
+    broker.publish("point", job="terasort")
+    broker.publish("alert", rule="hot")
+    first = subscription.get(timeout=1.0)
+    second = subscription.get(timeout=1.0)
+    assert (first["kind"], first["job"]) == ("point", "terasort")
+    assert second["seq"] == first["seq"] + 1
+    subscription.close()
+    assert broker.subscriber_count() == 0
+
+
+def test_broker_replay_for_late_subscribers():
+    broker = EventBroker(history=4)
+    for index in range(10):
+        broker.publish("point", index=index)
+    late = broker.subscribe(replay=3)
+    replayed = [late.get(timeout=0.1)["index"] for _ in range(3)]
+    assert replayed == [7, 8, 9]
+    assert late.get(timeout=0.01) is None  # history bounded at 4
+    late.close()
+
+
+def test_slow_subscriber_sheds_instead_of_blocking():
+    broker = EventBroker(subscriber_capacity=2)
+    subscription = broker.subscribe()
+    for index in range(5):
+        broker.publish("point", index=index)
+    assert subscription.dropped == 3
+    assert subscription.get(timeout=0.1)["index"] == 0
+    subscription.close()

@@ -132,3 +132,48 @@ def test_snapshot_is_plain_data():
     registry.histogram("h", buckets=(1.0,)).observe(0.5)
     text = json.dumps(registry.snapshot())
     assert "terasort" in text
+
+
+# -- Prometheus exposition format ----------------------------------------------------
+
+
+def test_prometheus_text_has_help_and_type_per_family():
+    from repro.obs.export import prometheus_text
+
+    registry = MetricsRegistry()
+    registry.counter("sim.events_fired").inc(3)
+    registry.gauge("queue.depth").set(2.0)
+    registry.histogram("fit.seconds", buckets=(1.0, 10.0)).observe(0.5)
+    text = prometheus_text(registry)
+    assert "# HELP sim_events_fired keddah metric sim.events_fired\n" in text
+    assert "# TYPE sim_events_fired counter\n" in text
+    assert "# TYPE queue_depth gauge\n" in text
+    assert "# TYPE fit_seconds histogram\n" in text
+    # One header pair per family even with several label sets.
+    registry.counter("sim.events_fired", kind="timer").inc(1)
+    text = prometheus_text(registry)
+    assert text.count("# TYPE sim_events_fired counter") == 1
+
+
+def test_prometheus_help_text_overrides_and_escapes():
+    from repro.obs.export import prometheus_text
+
+    registry = MetricsRegistry()
+    registry.counter("a").inc(1)
+    text = prometheus_text(registry,
+                           help_texts={"a": "line\none \\ backslash"})
+    assert "# HELP a line\\none \\\\ backslash\n" in text
+
+
+def test_prometheus_label_values_escape_specials():
+    from repro.obs.export import prometheus_text
+
+    registry = MetricsRegistry()
+    registry.counter("weird.name", path='say "hi"\nc:\\tmp').inc(2)
+    text = prometheus_text(registry)
+    assert 'weird_name{path="say \\"hi\\"\\nc:\\\\tmp"} 2.0\n' in text
+    # And the escaped form survives a round-trip of the spec's rules.
+    value = text.split('path="', 1)[1].rsplit('"} ', 1)[0]
+    unescaped = (value.replace("\\\\", "\0").replace('\\"', '"')
+                 .replace("\\n", "\n").replace("\0", "\\"))
+    assert unescaped == 'say "hi"\nc:\\tmp'
