@@ -67,7 +67,14 @@ echo "== live-observability suite =="
 python -m pytest tests/test_obs_server.py tests/test_obs_aggregate.py \
     tests/test_obs_alerts.py -q
 
-# 8. Telemetry null-path smoke: an un-configured run must emit zero
+# 8. Pipeline crash-resume gate: SIGKILL a pipeline mid-fit, resume,
+#    and require zero re-execution of completed nodes plus
+#    byte-identical final artifacts; then verify a config edit to one
+#    mid-DAG node invalidates exactly that node and its descendants.
+echo "== pipeline crash-resume gate =="
+python scripts/pipeline_gate.py
+
+# 9. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.
 echo "== telemetry null-path smoke =="
 python - <<'EOF'

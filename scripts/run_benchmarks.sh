@@ -28,6 +28,9 @@
 #                          bare vs served-and-scraped, byte-identity of
 #                          the captures, alert liveness
 #                          (benchmarks/bench_serve_overhead.py)
+#   BENCH_pipeline.json  — crash-safe pipeline DAG: cold flat campaign vs
+#                          cold DAG vs warm all-cached DAG, warm-skip
+#                          speedup (benchmarks/bench_pipeline.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -81,5 +84,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_serve_overhead.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_pipeline.py \
     -m benchmark_suite \
     -q -s "$@"

@@ -4,6 +4,7 @@ Subcommands mirror the pipeline stages::
 
     keddah capture  --job terasort --input-gb 1.0 --nodes 8 -o trace.jsonl
     keddah campaign --job terasort --job grep --workers 4 --store ./store
+    keddah pipeline run --dir pipeline/ --experiments e12,e18
     keddah store    stats --store ./store
     keddah fit      traces/*.jsonl -o model.json
     keddah generate --model model.json --input-gb 4.0 -o synthetic.jsonl
@@ -156,6 +157,67 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--alerts", default=None, metavar="RULES.json",
                           help="alert rule file evaluated live during the "
                                "run (with --serve-port)")
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="run the capture→classify→fit→replay→validate→report "
+             "pipeline as a crash-safe, resumable DAG of isolated stages")
+    pipeline.add_argument("action", choices=["run", "plan", "resume",
+                                             "status"],
+                          help="run: execute (writes pipeline.json); plan: "
+                               "print the topological plan with cache hits; "
+                               "resume: re-run only incomplete nodes from "
+                               "the saved spec; status: journal + cache "
+                               "state per node")
+    pipeline.add_argument("--dir", required=True, dest="pipeline_dir",
+                          metavar="DIR",
+                          help="pipeline root directory (journal, spec, and "
+                               "per-node stage dirs live here; relocatable)")
+    pipeline.add_argument("--job", action="append", dest="jobs",
+                          choices=sorted(job_catalog()),
+                          help="job kind (repeatable; default: terasort, "
+                               "wordcount, grep)")
+    pipeline.add_argument("--sizes-gb", default=None,
+                          help="captured sweep per job; the largest size is "
+                               "the held-out validation target "
+                               "(default: 0.25,0.5,1.0)")
+    pipeline.add_argument("--fit-sizes-gb", default=None,
+                          help="training subset of --sizes-gb for the fit "
+                               "stage (default: all but the largest)")
+    pipeline.add_argument("--seed", type=int, default=None)
+    pipeline.add_argument("--nodes", type=int, default=None,
+                          help="cluster nodes for the base campaign")
+    pipeline.add_argument("--experiments", default=None, metavar="LIST",
+                          help="comma-separated experiment nodes to port "
+                               "onto the shared capture set (e12,e18)")
+    pipeline.add_argument("--e12-input-gb", type=float, default=None)
+    pipeline.add_argument("--e12-repeats", type=int, default=None)
+    pipeline.add_argument("--e18-target-gb", type=float, default=None)
+    pipeline.add_argument("--workers", type=int, default=None,
+                          help="worker processes inside the capture stage")
+    pipeline.add_argument("--on-failure", default="fail-fast",
+                          choices=["fail-fast", "continue",
+                                   "skip-descendants"],
+                          help="failure propagation: stop at the first "
+                               "quarantined node / finish independent "
+                               "branches then fail / finish independent "
+                               "branches and return the partial result")
+    pipeline.add_argument("--retries", type=int, default=3,
+                          help="attempt budget per node")
+    pipeline.add_argument("--deadline", type=float, default=None, metavar="S",
+                          help="per-node wall-clock deadline; a hung stage "
+                               "is killed by the watchdog and retried")
+    pipeline.add_argument("--dry-run", action="store_true",
+                          help="with run/resume: print the plan and exit "
+                               "without executing anything")
+    pipeline.add_argument("--telemetry", action="store_true",
+                          help="write per-node telemetry subdirs "
+                               "(keddah top DIR aggregates them)")
+    pipeline.add_argument("--serve-port", type=int, default=None, metavar="N",
+                          help="attach the live observability daemon for "
+                               "the run; node transitions stream on /events")
+    pipeline.add_argument("--serve-host", default="127.0.0.1")
+    pipeline.add_argument("--alerts", default=None, metavar="RULES.json")
 
     serve = sub.add_parser(
         "serve", help="serve a telemetry directory over HTTP "
@@ -543,6 +605,203 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_float_list(text: str, flag: str):
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise ValueError(
+            f"bad {flag} {text!r}; expected e.g. 0.25,0.5,1.0") from None
+    if not values:
+        raise ValueError(f"{flag} named no sizes")
+    return tuple(values)
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.experiments.dag import (
+        CACHED,
+        DONE,
+        DAGRunner,
+        PipelineFailed,
+    )
+    from repro.experiments.pipelines import (
+        PipelineSpec,
+        build_pipeline,
+        load_spec,
+        save_spec,
+    )
+    from repro.experiments.supervision import Quarantine, RetryPolicy
+
+    root = Path(args.pipeline_dir)
+    from repro.experiments.pipelines import PIPELINE_SPEC_FILE
+
+    spec_path = root / PIPELINE_SPEC_FILE
+
+    def apply_overrides(base: PipelineSpec) -> PipelineSpec:
+        overrides = {}
+        if args.jobs:
+            overrides["jobs"] = tuple(args.jobs)
+        if args.sizes_gb is not None:
+            overrides["sizes_gb"] = _parse_float_list(args.sizes_gb,
+                                                      "--sizes-gb")
+        if args.fit_sizes_gb is not None:
+            overrides["fit_sizes_gb"] = _parse_float_list(args.fit_sizes_gb,
+                                                          "--fit-sizes-gb")
+        if args.seed is not None:
+            overrides["seed"] = args.seed
+        if args.nodes is not None:
+            overrides["campaign"] = dict(base.campaign, nodes=args.nodes)
+        if args.experiments is not None:
+            overrides["experiments"] = tuple(
+                part.strip() for part in args.experiments.split(",")
+                if part.strip())
+        if args.e12_input_gb is not None:
+            overrides["e12_input_gb"] = args.e12_input_gb
+        if args.e12_repeats is not None:
+            overrides["e12_repeats"] = args.e12_repeats
+        if args.e18_target_gb is not None:
+            overrides["e18_target_gb"] = args.e18_target_gb
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        return base.with_overrides(**overrides) if overrides else base
+
+    if args.action in ("resume", "status") and not spec_path.is_file():
+        print(f"{root}: no {spec_path.name} "
+              f"(run `keddah pipeline run --dir {root}` first)")
+        return 2
+    try:
+        if args.action == "resume":
+            # Resume must rebuild the *identical* DAG: the saved spec
+            # wins and workload flags are ignored (a changed workload
+            # is a new `run`, which re-keys the affected nodes).
+            spec = load_spec(root)
+        else:
+            base = load_spec(root) if spec_path.is_file() else PipelineSpec()
+            spec = apply_overrides(base)
+        dag = build_pipeline(spec)
+    except ValueError as exc:
+        print(f"bad pipeline spec: {exc}")
+        return 2
+
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry.enabled_in_memory()
+
+    broker = None
+    server = None
+    if args.serve_port is not None and args.action in ("run", "resume"):
+        from repro.obs import EventBroker, Telemetry
+        from repro.obs.server import serve_telemetry
+
+        if telemetry is None:
+            telemetry = Telemetry.disabled()
+        broker = EventBroker()
+        engine = _alert_engine(args.alerts, broker)
+        server = serve_telemetry(telemetry, port=args.serve_port,
+                                 host=args.serve_host, broker=broker,
+                                 engine=engine)
+        print(f"live observability at {server.url} "
+              f"(node transitions stream on /events)")
+
+    if args.retries < 1:
+        print(f"--retries must be >= 1, got {args.retries}")
+        return 2
+    runner = DAGRunner(
+        dag, root,
+        retry_policy=RetryPolicy(max_attempts=args.retries,
+                                 deadline_s=args.deadline),
+        quarantine=Quarantine(root / "quarantine.jsonl"),
+        on_failure=args.on_failure,
+        telemetry=telemetry,
+        events=broker,
+        node_telemetry=args.telemetry)
+
+    if args.action == "plan" or args.dry_run:
+        table = Table(title=f"pipeline plan: {len(dag)} node(s) under {root}",
+                      headers=["node", "stage", "action", "after", "dir"])
+        plan = runner.plan()
+        for entry in plan:
+            table.add_row(entry["node"], entry["stage"], entry["action"],
+                          ",".join(entry["after"]) or "-",
+                          entry["dir"] or "?")
+        cached = sum(1 for entry in plan if entry["action"] == "cached")
+        table.notes.append(f"{cached} cached, "
+                           f"{len(plan) - cached} to run "
+                           f"(stale-upstream nodes re-key once their "
+                           f"upstream re-runs)")
+        print(render_table(table))
+        if server is not None:
+            server.stop()
+        return 0
+
+    if args.action == "status":
+        last = runner.journal.last_states()
+        runs = runner.journal.run_counts()
+        table = Table(title=f"pipeline status: {root}",
+                      headers=["node", "stage", "journal", "runs",
+                               "cache", "dir"])
+        for entry in runner.plan():
+            name = entry["node"]
+            table.add_row(name, entry["stage"],
+                          last.get(name, {}).get("state", "-"),
+                          runs.get(name, 0), entry["action"],
+                          entry["dir"] or "?")
+        table.notes.append(
+            f"journal {runner.journal.path.name}: "
+            f"{len(runner.journal.transitions)} transition(s), "
+            f"{runner.journal.truncated_lines} torn line(s) tolerated")
+        print(render_table(table))
+        return 0
+
+    if args.action == "run":
+        root.mkdir(parents=True, exist_ok=True)
+        save_spec(root, spec)
+    elif len(runner.journal.transitions):
+        completed = sum(1 for entry in runner.plan()
+                        if entry["action"] == "cached")
+        print(f"resuming {root}: {completed} node(s) already complete")
+
+    started = time.perf_counter()
+    try:
+        result = runner.run()
+        failed = None
+    except PipelineFailed as exc:
+        result = exc.result
+        failed = exc
+    finally:
+        elapsed = time.perf_counter() - started
+        if server is not None:
+            print(f"serve daemon: {server.requests_served} request(s), "
+                  f"{server.broker.published} event(s) published")
+            server.stop()
+
+    table = Table(title=f"pipeline {dag.name}: {len(dag)} node(s) "
+                        f"under {root}",
+                  headers=["node", "stage", "state", "attempts", "dir"])
+    for name in dag.topological_order():
+        outcome = result.outcomes[name]
+        table.add_row(name, outcome.stage, outcome.state,
+                      outcome.attempts or "-", outcome.dir or "-")
+    executed = result.in_state(DONE)
+    cached = result.in_state(CACHED)
+    table.notes.append(f"{elapsed:.2f}s wall; {len(executed)} executed, "
+                       f"{len(cached)} cached")
+    if result.failures or failed is not None:
+        bad = result.in_state("quarantined")
+        table.notes.append(f"quarantined: {', '.join(bad)} "
+                           f"(fingerprints -> quarantine.jsonl); resume "
+                           f"with `keddah pipeline resume --dir {root}`")
+    print(render_table(table))
+    if telemetry is not None and args.telemetry:
+        _write_telemetry_dir(telemetry, str(root / "telemetry"))
+    if failed is not None or not result.ok:
+        return 1
+    return 0
+
+
 def cmd_store(args: argparse.Namespace) -> int:
     store = _resolve_store(args.store)
     if store is None:
@@ -909,12 +1168,14 @@ def cmd_top(args: argparse.Namespace) -> int:
         if firing:
             print(f"ALERTS FIRING: {', '.join(firing)}")
     else:
-        from repro.obs.export import load_telemetry_dir
+        from repro.obs.server import DirSource
 
         if not Path(args.source).is_dir():
             print(f"{args.source}: not a URL or telemetry directory")
             return 2
-        metrics, probes, _ = load_telemetry_dir(args.source)
+        source = DirSource(args.source)
+        metrics = source.metrics_snapshot()
+        probes = source.probes()
     print(render_table(metrics_table(
         metrics, title=f"cluster metrics ({args.source})")))
     if probes.series:
@@ -950,6 +1211,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "capture": cmd_capture,
     "campaign": cmd_campaign,
+    "pipeline": cmd_pipeline,
     "store": cmd_store,
     "fit": cmd_fit,
     "generate": cmd_generate,

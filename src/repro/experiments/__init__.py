@@ -20,6 +20,14 @@ serial run.
 artefact (E1..E20 and ablations A1..A5 in DESIGN.md's index), each
 returning the :class:`~repro.analysis.tables.Table` rows the paper's
 corresponding table/figure reports.
+
+:mod:`repro.experiments.dag` is the crash-safe multi-stage pipeline
+scheduler: stage nodes run in isolated, relocatable, content-addressed
+dirs under a fsynced append-only journal, so a killed pipeline resumes
+with zero re-execution of completed nodes.
+:mod:`repro.experiments.pipelines` wires the built-in
+capture→classify→fit→replay→validate→report DAG over one shared
+capture set, with E12/E18 ported on as sibling branches.
 """
 
 from repro.experiments.campaigns import (
@@ -31,6 +39,20 @@ from repro.experiments.campaigns import (
     get_store,
     set_store,
 )
+from repro.experiments.dag import (
+    DAGJournal,
+    DAGRunner,
+    NodeOutcome,
+    PipelineCycleError,
+    PipelineDAG,
+    PipelineFailed,
+    PipelineResult,
+    PROPAGATION_MODES,
+    StageContext,
+    StageNode,
+    register_stage,
+)
+from repro.experiments.pipelines import PipelineSpec, build_pipeline, load_spec, save_spec
 from repro.experiments.runner import CampaignRunner, CapturePoint, derive_seed
 from repro.experiments.store import CaptureStore, ScrubReport
 from repro.experiments.supervision import (
@@ -46,8 +68,13 @@ from repro.experiments import figures
 from repro.experiments.report import generate_report, write_report
 
 __all__ = ["CampaignConfig", "CampaignPointsFailed", "CampaignRunner",
-           "CaptureStore", "CapturePoint", "CheckpointJournal",
-           "FailureFingerprint", "PointFailure", "Quarantine", "RetryPolicy",
-           "ScrubReport", "cache_stats", "capture", "capture_campaign",
-           "classify_failure", "clear_cache", "derive_seed", "figures",
-           "generate_report", "get_store", "set_store", "write_report"]
+           "CaptureStore", "CapturePoint", "CheckpointJournal", "DAGJournal",
+           "DAGRunner", "FailureFingerprint", "PROPAGATION_MODES",
+           "NodeOutcome", "PipelineCycleError", "PipelineDAG",
+           "PipelineFailed", "PipelineResult", "PipelineSpec", "PointFailure",
+           "Quarantine", "RetryPolicy", "ScrubReport", "StageContext",
+           "StageNode", "build_pipeline", "cache_stats", "capture",
+           "capture_campaign", "classify_failure", "clear_cache",
+           "derive_seed", "figures", "generate_report", "get_store",
+           "load_spec", "register_stage", "save_spec", "set_store",
+           "write_report"]

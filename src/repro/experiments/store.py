@@ -29,8 +29,11 @@ summary; every following line is the trace's existing JSONL encoding
 (one meta line, then one line per flow), byte-identical to
 :meth:`JobTrace.to_jsonl`.
 
-Writes are atomic (tmp file in the same directory + ``os.replace``) so
-concurrent writers and crashes can never publish a half-written entry.
+Writes are atomic and durable (tmp file in the same directory,
+``fsync``, ``os.replace``, then ``fsync`` of the containing directory)
+so concurrent writers and crashes can never publish a half-written
+entry — and a published entry survives power loss, not just process
+kill.
 Reads are corruption-tolerant: any parse/validation failure is counted
 and treated as a miss, and the next :meth:`put` simply overwrites the
 bad file.
@@ -65,6 +68,60 @@ def canonical_json(data: Any) -> str:
     """Deterministic JSON: sorted keys, no whitespace drift."""
     return json.dumps(data, sort_keys=True, separators=(",", ":"),
                       default=str)
+
+
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-published name survives power loss.
+
+    ``os.replace`` makes a write atomic with respect to *readers*, but
+    the new directory entry itself lives in the parent directory's
+    metadata — until that is synced, a power cut can roll the rename
+    back even though the file's bytes were fsynced.  Platforms whose
+    directories cannot be opened/fsynced (some filesystems, Windows)
+    degrade silently: atomicity still holds, only power-loss durability
+    is best-effort there.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_atomic(path: str | Path, text: str, durable: bool = True) -> Path:
+    """Atomically (and durably) publish ``text`` at ``path``.
+
+    tmp file in the same directory -> write -> fsync(file) ->
+    ``os.replace`` -> fsync(parent dir).  ``durable=False`` skips both
+    fsyncs for callers that only need crash *atomicity* (never a torn
+    file), not power-loss durability.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                    prefix=f".{path.name[:24]}.",
+                                    suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            if durable:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+    return path
 
 
 def key_hash(key: Dict[str, Any]) -> str:
@@ -212,25 +269,15 @@ class CaptureStore:
 
     def put(self, key: Dict[str, Any], result: JobResult,
             trace: JobTrace) -> Path:
-        """Atomically publish one entry; returns its path."""
-        digest = key_hash(key)
-        path = self.entry_path(digest)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Atomically and durably publish one entry; returns its path.
+
+        ``write_atomic`` fsyncs both the entry file and its containing
+        directory, so a published capture survives power loss — the
+        pipeline DAG's cache-validity check leans on this.
+        """
+        path = self.entry_path(key_hash(key))
         payload = encode_entry(key, result, trace)
-        # tmp in the same directory so os.replace stays a same-fs rename.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
-                                        prefix=f".{digest[:12]}.",
-                                        suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
-            try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+        write_atomic(path, payload)
         self._count("writes")
         self._count("bytes_written", len(payload))
         return path

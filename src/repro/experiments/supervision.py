@@ -49,6 +49,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.experiments.store import fsync_dir, write_atomic
+
 #: Failure classes.  ``TRANSIENT`` failures are environmental and
 #: retryable; ``DETERMINISTIC`` failures repeat on every attempt;
 #: ``DEADLINE`` marks watchdog kills of hung points (retried like
@@ -183,7 +185,12 @@ class RetryPolicy:
 
 @dataclass
 class PointFailure:
-    """One quarantined point: identity, attempts, and every fingerprint."""
+    """One quarantined point: identity, attempts, and every fingerprint.
+
+    ``occurrences`` counts how many times this *same* crash (same key,
+    same fingerprint set) was quarantined — it grows across
+    ``--resume`` cycles instead of the sidecar growing duplicate lines.
+    """
 
     key: str
     job: str
@@ -191,10 +198,18 @@ class PointFailure:
     seed: int
     attempts: int
     fingerprints: List[FailureFingerprint] = field(default_factory=list)
+    occurrences: int = 1
+
+    def crash_signature(self) -> Tuple[Any, ...]:
+        """What makes two quarantine records "the same crash"."""
+        return (self.key,
+                tuple((f.exception_type, f.traceback_sha256)
+                      for f in self.fingerprints))
 
     def to_dict(self) -> Dict[str, Any]:
         return {"key": self.key, "job": self.job, "input_gb": self.input_gb,
                 "seed": self.seed, "attempts": self.attempts,
+                "occurrences": self.occurrences,
                 "fingerprints": [f.to_dict() for f in self.fingerprints]}
 
     @classmethod
@@ -202,13 +217,15 @@ class PointFailure:
         return cls(key=data["key"], job=data["job"],
                    input_gb=data["input_gb"], seed=data["seed"],
                    attempts=data["attempts"],
+                   occurrences=int(data.get("occurrences", 1)),
                    fingerprints=[FailureFingerprint.from_dict(f)
                                  for f in data.get("fingerprints", [])])
 
     def describe(self) -> str:
         last = self.fingerprints[-1].short() if self.fingerprints else "?"
+        seen = (f", seen {self.occurrences}x" if self.occurrences > 1 else "")
         return (f"{self.job} {self.input_gb} GiB seed={self.seed} "
-                f"({self.attempts} attempt(s)): {last}")
+                f"({self.attempts} attempt(s){seen}): {last}")
 
 
 class CampaignPointsFailed(RuntimeError):
@@ -227,25 +244,53 @@ class CampaignPointsFailed(RuntimeError):
 
 
 class Quarantine:
-    """Append-only ``quarantine.jsonl`` sidecar of poisoned points.
+    """Deduplicating ``quarantine.jsonl`` sidecar of poisoned points.
 
     With ``path=None`` the quarantine is memory-only (failures are
     still collected on the runner); with a path, every quarantined
-    point appends one JSON line so post-mortems survive the process.
+    point is one durable JSON line so post-mortems survive the process.
+    Opening an existing sidecar loads it first, and recording a failure
+    whose :meth:`PointFailure.crash_signature` matches a known line
+    bumps that line's ``occurrences`` (and attempt total) instead of
+    appending a duplicate — so a poison point crashed across ten
+    ``--resume`` cycles is *one* line with ``occurrences: 10``.
     """
 
     def __init__(self, path: Optional[str | Path] = None):
         self.path = Path(path) if path is not None else None
         self.failures: List[PointFailure] = []
+        if self.path is not None and self.path.exists():
+            self.failures = Quarantine.load(self.path)
 
-    def record(self, failure: PointFailure) -> None:
+    def record(self, failure: PointFailure) -> PointFailure:
+        """Record (or merge) one failure; returns the stored record."""
+        signature = failure.crash_signature()
+        for known in self.failures:
+            if known.crash_signature() == signature:
+                known.occurrences += failure.occurrences
+                known.attempts += failure.attempts
+                self._rewrite()
+                return known
         self.failures.append(failure)
+        if self.path is not None:
+            created = not self.path.exists()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(failure.to_dict(), sort_keys=True)
+                             + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            if created:
+                fsync_dir(self.path.parent)
+        return failure
+
+    def _rewrite(self) -> None:
+        """Atomically re-publish the whole sidecar (after a merge)."""
         if self.path is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(failure.to_dict(), sort_keys=True) + "\n")
-            handle.flush()
+        text = "".join(json.dumps(failure.to_dict(), sort_keys=True) + "\n"
+                       for failure in self.failures)
+        write_atomic(self.path, text)
 
     def __len__(self) -> int:
         return len(self.failures)
@@ -332,10 +377,16 @@ class CheckpointJournal:
     # -- writing -----------------------------------------------------------------
 
     def _append(self, record: Dict[str, Any]) -> None:
+        created = not self.path.exists()
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if created:
+            # The file's *name* lives in the parent directory's
+            # metadata; without this a power cut can lose the journal
+            # even though its bytes were fsynced.
+            fsync_dir(self.path.parent)
 
     def record_completed(self, key: str, job: str, input_gb: float, seed: int,
                          entry: str) -> None:

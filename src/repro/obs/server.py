@@ -109,9 +109,14 @@ class DirSource:
     loading goes through the tolerant :func:`load_telemetry_dir`, so a
     missing ``probes.json`` or a truncated ``spans.jsonl`` degrades to
     empty rather than a 500.
-    """
 
-    kind = "dir"
+    A *pipeline* directory (``keddah pipeline --dir DIR``: has a
+    ``nodes/`` of per-stage dirs, or a ``pipeline.json`` spec) is
+    recognised automatically: every node's ``telemetry/`` subdir is
+    aggregated, node metrics gain a ``node=<name>`` label and node
+    probe series are prefixed ``<name>/``, so ``keddah top DIR`` and
+    ``keddah serve`` work on a pipeline root out of the box.
+    """
 
     def __init__(self, directory):
         self.root = Path(directory)
@@ -123,16 +128,46 @@ class DirSource:
         self.reloads = 0
         self.refresh()
 
+    @property
+    def kind(self) -> str:
+        return "pipeline-dir" if self._is_pipeline() else "dir"
+
+    def _is_pipeline(self) -> bool:
+        return ((self.root / "nodes").is_dir()
+                or (self.root / "pipeline.json").is_file())
+
+    def _telemetry_dirs(self) -> List[Any]:
+        """(node label, directory) pairs to aggregate; label None = root.
+
+        A plain telemetry directory is just ``[(None, root)]``; a
+        pipeline root contributes its optional run-level ``telemetry/``
+        plus every ``nodes/<name>@<sig>/telemetry/`` dir, labelled by
+        the node name (the part before ``@``).
+        """
+        if not self._is_pipeline():
+            return [(None, self.root)]
+        dirs: List[Any] = [(None, self.root / "telemetry")]
+        nodes_dir = self.root / "nodes"
+        if nodes_dir.is_dir():
+            for node_dir in sorted(nodes_dir.iterdir()):
+                telemetry_dir = node_dir / "telemetry"
+                if telemetry_dir.is_dir():
+                    dirs.append((node_dir.name.split("@", 1)[0],
+                                 telemetry_dir))
+        return dirs
+
     def _stat_fingerprint(self) -> Any:
         parts = []
-        for name in ("metrics.json", "metrics.prom", "probes.json",
-                     "spans.jsonl"):
-            path = self.root / name
-            try:
-                stat = path.stat()
-                parts.append((name, stat.st_mtime_ns, stat.st_size))
-            except OSError:
-                parts.append((name, None, None))
+        for label, directory in self._telemetry_dirs():
+            for name in ("metrics.json", "metrics.prom", "probes.json",
+                         "spans.jsonl"):
+                path = directory / name
+                try:
+                    stat = path.stat()
+                    parts.append((label, name, stat.st_mtime_ns,
+                                  stat.st_size))
+                except OSError:
+                    parts.append((label, name, None, None))
         return tuple(parts)
 
     def refresh(self) -> None:
@@ -140,10 +175,29 @@ class DirSource:
         with self._lock:
             if fingerprint == self._fingerprint:
                 return
-            metrics, probes, spans = load_telemetry_dir(self.root)
+            metrics: List[Dict[str, Any]] = []
+            probes = ProbeLog()
+            spans: List[Dict[str, Any]] = []
+            for label, directory in self._telemetry_dirs():
+                if not directory.is_dir():
+                    continue
+                loaded_metrics, loaded_probes, loaded_spans = (
+                    load_telemetry_dir(directory))
+                if label is None:
+                    metrics.extend(loaded_metrics)
+                else:
+                    for entry in loaded_metrics:
+                        entry = dict(entry)
+                        entry["labels"] = dict(entry.get("labels") or {},
+                                               node=label)
+                        metrics.append(entry)
+                for name, series in loaded_probes.series.items():
+                    key = name if label is None else f"{label}/{name}"
+                    probes.series[key] = series
+                spans.extend(span.to_dict() for span in loaded_spans)
             self._metrics = metrics
             self._probes = probes
-            self._spans = [span.to_dict() for span in spans]
+            self._spans = spans
             self._fingerprint = fingerprint
             self.reloads += 1
 

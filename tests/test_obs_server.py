@@ -244,6 +244,54 @@ def test_dir_source_degrades_on_partial_writes(tmp_path):
         assert spans  # parseable prefix survived the truncated tail
 
 
+def _fake_pipeline_dir(tmp_path):
+    """A pipeline root: run-level telemetry plus two node telemetry dirs."""
+    (tmp_path / "pipeline.json").write_text("{}", encoding="utf-8")
+    run_level = Telemetry.enabled_in_memory()
+    run_level.registry.counter("pipeline.runs").inc()
+    write_telemetry(run_level, tmp_path / "telemetry")
+    for node, signature in (("capture", "aa" * 6), ("fit", "bb" * 6)):
+        telemetry = Telemetry.enabled_in_memory()
+        telemetry.registry.counter("stage.work").inc(3)
+        telemetry.probes.sample("stage.load", 1.0, 0.5)
+        write_telemetry(telemetry,
+                        tmp_path / "nodes" / f"{node}@{signature}"
+                        / "telemetry")
+    return tmp_path
+
+
+def test_dir_source_aggregates_pipeline_layout_under_node_labels(tmp_path):
+    source = DirSource(_fake_pipeline_dir(tmp_path))
+    assert source.kind == "pipeline-dir"
+    snapshot = source.metrics_snapshot()
+    by_label = {entry.get("labels", {}).get("node")
+                for entry in snapshot if entry["name"] == "stage.work"}
+    assert by_label == {"capture", "fit"}
+    unlabelled = [entry for entry in snapshot
+                  if entry["name"] == "pipeline.runs"]
+    assert unlabelled and "node" not in unlabelled[0].get("labels", {})
+
+    text = source.prometheus()
+    assert 'stage_work{node="capture"} 3.0' in text
+    assert 'stage_work{node="fit"} 3.0' in text
+
+    assert set(source.probes().series) == {"capture/stage.load",
+                                           "fit/stage.load"}
+
+
+def test_dir_source_pipeline_reloads_on_node_change(tmp_path):
+    source = DirSource(_fake_pipeline_dir(tmp_path))
+    reloads = source.reloads
+    telemetry = Telemetry.enabled_in_memory()
+    telemetry.registry.counter("stage.work").inc(9)
+    write_telemetry(telemetry,
+                    tmp_path / "nodes" / ("replay@" + "cc" * 6)
+                    / "telemetry")
+    source.refresh()
+    assert source.reloads > reloads
+    assert 'stage_work{node="replay"} 9.0' in source.prometheus()
+
+
 def test_load_telemetry_dir_strict_still_raises(tmp_path):
     from repro.obs.export import load_telemetry_dir
 

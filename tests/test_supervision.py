@@ -205,6 +205,38 @@ def test_quarantine_without_path_is_memory_only(tmp_path):
     assert Quarantine.load(tmp_path / "missing.jsonl") == []
 
 
+def test_quarantine_dedupes_repeat_fingerprints_across_cycles(tmp_path):
+    path = tmp_path / "quarantine.jsonl"
+    Quarantine(path).record(_failure("k1"))
+    # A later resume cycle opens the sidecar fresh and hits the same
+    # poison point with the same crash signature: one line, counted.
+    survivor = Quarantine(path)
+    known = survivor.record(_failure("k1"))
+    assert known.occurrences == 2
+    assert known.attempts == 2
+    assert len(survivor) == 1
+
+    loaded = Quarantine.load(path)
+    assert len(loaded) == 1
+    assert loaded[0].occurrences == 2
+    assert "seen 2x" in loaded[0].describe()
+
+
+def test_quarantine_keeps_distinct_crash_signatures_apart(tmp_path):
+    path = tmp_path / "quarantine.jsonl"
+    quarantine = Quarantine(path)
+    quarantine.record(_failure("k1"))
+
+    different = _failure("k1")
+    different.fingerprints[0] = FailureFingerprint(
+        exception_type="OSError", message="io",
+        traceback_sha256="cd" * 32, classification=DETERMINISTIC)
+    quarantine.record(different)
+    loaded = Quarantine.load(path)
+    assert len(loaded) == 2
+    assert all(failure.occurrences == 1 for failure in loaded)
+
+
 # -- checkpoint journal -------------------------------------------------------------
 
 
