@@ -74,7 +74,16 @@ python -m pytest tests/test_obs_server.py tests/test_obs_aggregate.py \
 echo "== pipeline crash-resume gate =="
 python scripts/pipeline_gate.py
 
-# 9. Telemetry null-path smoke: an un-configured run must emit zero
+# 9. Workload-plan differential gate: a single-stage plan must keep
+#    producing byte-identical captures to the legacy single-job path
+#    across backends and engines, the plan IR/executor semantics must
+#    hold, and plan store entries must stay disjoint from single-job
+#    entries.  Explicit so scoped runs still exercise the contract.
+echo "== workload-plan differential suite =="
+python -m pytest tests/test_plan_differential.py tests/test_workload_plans.py \
+    tests/test_plan_campaign.py -q
+
+# 10. Telemetry null-path smoke: an un-configured run must emit zero
 #    spans and zero probe samples while the perf counters stay live.
 echo "== telemetry null-path smoke =="
 python - <<'EOF'

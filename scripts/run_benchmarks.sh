@@ -31,6 +31,10 @@
 #   BENCH_pipeline.json  — crash-safe pipeline DAG: cold flat campaign vs
 #                          cold DAG vs warm all-cached DAG, warm-skip
 #                          speedup (benchmarks/bench_pipeline.py)
+#   BENCH_plans.json     — workload plans: the TPCx-HS chain as one plan
+#                          vs its stages as isolated captures, with
+#                          per-stage JCT/volume rows and the chaining
+#                          overhead (benchmarks/bench_plans.py)
 #
 # Usage: scripts/run_benchmarks.sh [substrate_output.json] [extra pytest args...]
 set -euo pipefail
@@ -89,5 +93,10 @@ PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
 
 PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
     benchmarks/bench_pipeline.py \
+    -m benchmark_suite \
+    -q -s "$@"
+
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" python -m pytest \
+    benchmarks/bench_plans.py \
     -m benchmark_suite \
     -q -s "$@"

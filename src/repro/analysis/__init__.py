@@ -8,7 +8,9 @@ The quantitative layer between raw traces and the experiment outputs:
   flow-count decompositions of job traces;
 * :mod:`repro.analysis.compare` — captured-vs-synthetic validation
   (two-sample KS per component metric, volume/count errors);
-* :mod:`repro.analysis.jct` — job-completion-time statistics.
+* :mod:`repro.analysis.jct` — job-completion-time statistics;
+* :mod:`repro.analysis.plans` — per-stage attribution and scoring of
+  workload-plan captures.
 """
 
 from repro.analysis.breakdown import component_breakdown, cross_rack_fraction
@@ -16,6 +18,7 @@ from repro.analysis.compare import compare_traces, validation_summary
 from repro.analysis.hotspots import hotspot_table, imbalance_factor, per_host_traffic
 from repro.analysis.jct import jct_summary
 from repro.analysis.matrix import host_matrix, matrix_sparsity, rack_matrix, rack_matrix_table
+from repro.analysis.plans import is_plan_trace, plan_score, stage_breakdown, stage_table
 from repro.analysis.tables import Table, cdf_table, render_cdf_series, render_table
 
 __all__ = [
@@ -28,8 +31,12 @@ __all__ = [
     "imbalance_factor",
     "per_host_traffic",
     "host_matrix",
+    "is_plan_trace",
     "jct_summary",
     "matrix_sparsity",
+    "plan_score",
+    "stage_breakdown",
+    "stage_table",
     "rack_matrix",
     "rack_matrix_table",
     "render_cdf_series",

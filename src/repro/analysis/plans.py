@@ -1,0 +1,139 @@
+"""Per-stage analysis of workload-plan captures.
+
+A plan trace is one combined capture spanning every stage of a
+:class:`~repro.jobs.plan.WorkloadPlan` run; the stage manifest lives
+under ``meta.extra['plan']`` (written by
+:meth:`~repro.mapreduce.cluster.HadoopCluster.trace_for_plan`).  This
+module attributes the trace's flows back to stages by job id and turns
+the manifest into the per-stage JCT / volume breakdown table the
+multi-stage experiments print — plus the benchmark-style single score
+(TPCx-HS HSph) for plans that declare a ``score_rule``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.tables import Table
+from repro.capture.records import FlowRecord, JobTrace, TrafficComponent
+
+
+def is_plan_trace(trace: JobTrace) -> bool:
+    """True when the trace is a combined workload-plan capture."""
+    return "plan" in trace.meta.extra
+
+
+def plan_meta(trace: JobTrace) -> Dict[str, Any]:
+    """The stage manifest of a plan trace (raises on single-job traces)."""
+    if not is_plan_trace(trace):
+        raise ValueError(f"{trace.meta.job_id} is not a plan capture")
+    return trace.meta.extra["plan"]
+
+
+def stage_flows(trace: JobTrace) -> Dict[str, List[FlowRecord]]:
+    """Flows grouped by stage name, with shared traffic under ``(shared)``.
+
+    Attribution is exact, not windowed: every data flow carries its
+    stage's job id.  Unattributed control-plane flows (heartbeats) are
+    genuinely shared across concurrently-running stages, so they get
+    their own bucket instead of being charged to an arbitrary stage.
+    """
+    meta = plan_meta(trace)
+    by_job_id = {entry["job_id"]: entry["name"] for entry in meta["stages"]}
+    groups: Dict[str, List[FlowRecord]] = {entry["name"]: []
+                                           for entry in meta["stages"]}
+    groups["(shared)"] = []
+    for flow in trace.flows:
+        groups[by_job_id.get(flow.job_id, "(shared)")].append(flow)
+    return groups
+
+
+def stage_breakdown(trace: JobTrace) -> List[Dict[str, Any]]:
+    """Per-stage rows: window, JCT, task counts and on-wire volumes.
+
+    Scheduling facts (windows, task counts, HDFS-level byte counters)
+    come from the stage manifest; wire volumes from the attributed
+    flows.  Skipped stages (upstream failure) appear with null
+    timings so a failed plan's table still accounts for every stage.
+    """
+    meta = plan_meta(trace)
+    flows = stage_flows(trace)
+    rows: List[Dict[str, Any]] = []
+    for entry in meta["stages"]:
+        own = flows.get(entry["name"], [])
+        shuffle = sum(f.size for f in own
+                      if f.component == TrafficComponent.SHUFFLE.value)
+        row: Dict[str, Any] = {
+            "stage": entry["name"],
+            "kind": entry["kind"],
+            "status": entry["status"],
+            "deps": list(entry.get("deps", [])),
+            "submit_time": entry.get("submit_time"),
+            "finish_time": entry.get("finish_time"),
+            "jct": entry.get("completion_time"),
+            "num_maps": entry.get("num_maps", 0),
+            "num_reduces": entry.get("num_reduces", 0),
+            "input_bytes": entry.get("input_bytes", 0.0),
+            "shuffle_bytes": shuffle,
+            "output_bytes": entry.get("output_bytes", 0.0),
+            "wire_bytes": sum(f.size for f in own),
+            "wire_flows": len(own),
+        }
+        rows.append(row)
+    shared = flows["(shared)"]
+    rows.append({
+        "stage": "(shared)", "kind": "-", "status": "-", "deps": [],
+        "submit_time": None, "finish_time": None, "jct": None,
+        "num_maps": 0, "num_reduces": 0, "input_bytes": 0.0,
+        "shuffle_bytes": 0.0, "output_bytes": 0.0,
+        "wire_bytes": sum(f.size for f in shared),
+        "wire_flows": len(shared),
+    })
+    return rows
+
+
+def stage_table(trace: JobTrace) -> Table:
+    """The per-stage breakdown as a printable :class:`Table`."""
+    meta = plan_meta(trace)
+    table = Table(
+        title=f"Plan {meta['name']} — per-stage breakdown",
+        headers=["stage", "kind", "status", "deps", "jct_s",
+                 "maps", "reduces", "input_mb", "shuffle_mb",
+                 "wire_mb", "flows"])
+    mb = 1024.0 * 1024.0
+    for row in stage_breakdown(trace):
+        table.add_row(
+            row["stage"], row["kind"], row["status"],
+            "+".join(row["deps"]) if row["deps"] else "-",
+            row["jct"] if row["jct"] is not None else "-",
+            row["num_maps"], row["num_reduces"],
+            row["input_bytes"] / mb, row["shuffle_bytes"] / mb,
+            row["wire_bytes"] / mb, row["wire_flows"])
+    completion = trace.meta.extra.get("completion_time")
+    if completion is not None:
+        table.notes.append(f"plan completion: {completion:.3f} s")
+    score = plan_score(trace)
+    if score is not None:
+        table.notes.append(
+            f"score ({meta['score_rule']}): {score:.4f}")
+    return table
+
+
+def plan_score(trace: JobTrace) -> Optional[float]:
+    """The plan's single benchmark score, per its ``score_rule``.
+
+    ``hsph`` is the TPCx-HS metric shape: scale factor over total
+    elapsed hours, so doubling the data at constant wall-clock doubles
+    the score.  Plans without a score rule return None.
+    """
+    meta = plan_meta(trace)
+    rule = meta.get("score_rule", "")
+    if rule == "hsph":
+        elapsed = trace.meta.extra.get("completion_time", 0.0)
+        if elapsed <= 0:
+            return None
+        scale = float(meta.get("params", {}).get("scale", 1.0))
+        return scale / (elapsed / 3600.0)
+    if rule:
+        raise ValueError(f"unknown plan score rule {rule!r}")
+    return None

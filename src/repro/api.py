@@ -32,20 +32,26 @@ __all__ = [
 ]
 
 
-def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
+def run_capture(job: Optional[str] = None, input_gb: float = 1.0,
+                nodes: int = 16, seed: int = 0,
                 config: Optional[HadoopConfig] = None,
                 cluster_spec: Optional[ClusterSpec] = None,
                 hosts_per_rack: int = 4,
                 telemetry: Optional[Telemetry] = None,
                 backend: Optional[str] = None,
                 engine: Optional[str] = None,
+                plan: Optional[object] = None,
+                plan_params: Optional[dict] = None,
                 **job_kwargs) -> JobTrace:
-    """Run one job on a fresh simulated cluster; return its capture.
+    """Run one job or workload plan on a fresh cluster; return its capture.
 
     ``job`` is a catalog kind (``terasort``, ``wordcount``, ...);
     ``job_kwargs`` pass through to :func:`repro.jobs.make_job` (e.g.
-    ``num_reducers=32`` or ``iterations=5``).  ``cluster_spec`` wins
-    over the ``nodes``/``hosts_per_rack`` shortcuts when provided.
+    ``num_reducers=32`` or ``iterations=5``).  Alternatively ``plan``
+    names a registered :class:`~repro.jobs.plan.WorkloadPlan` (or is
+    one), built with ``plan_params`` and run as a multi-stage DAG;
+    exactly one of ``job``/``plan`` must be given.  ``cluster_spec``
+    wins over the ``nodes``/``hosts_per_rack`` shortcuts when provided.
     ``telemetry`` (e.g. ``Telemetry.enabled_in_memory()``) observes the
     run without changing the captured bytes.  ``backend`` selects the
     transport substrate (``fluid``/``analytic``/``record``, see
@@ -53,6 +59,8 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
     (``scalar``/``vectorized``, bit-identical results).  Either
     overrides the corresponding ``cluster_spec`` field when given.
     """
+    if (job is None) == (plan is None):
+        raise ValueError("run_capture needs exactly one of job= or plan=")
     spec = cluster_spec or ClusterSpec(num_nodes=nodes,
                                        hosts_per_rack=hosts_per_rack)
     if backend is not None and backend != spec.backend:
@@ -61,6 +69,18 @@ def run_capture(job: str, input_gb: float, nodes: int = 16, seed: int = 0,
         spec = replace(spec, engine=engine)
     cluster = HadoopCluster(spec, config or HadoopConfig(), seed=seed,
                             telemetry=telemetry)
+    if plan is not None:
+        from repro.jobs.plan import WorkloadPlan, make_plan
+
+        if job_kwargs:
+            raise ValueError("job kwargs do not apply to plan captures; "
+                             "use plan_params=")
+        if not isinstance(plan, WorkloadPlan):
+            plan = make_plan(str(plan), **(plan_params or {}))
+        elif plan_params:
+            raise ValueError("plan_params only apply when plan is a name")
+        _, trace = cluster.run_plan(plan)
+        return trace
     job_spec = make_job(job, input_gb=input_gb, **job_kwargs)
     _, traces = cluster.run([job_spec])
     return traces[0]

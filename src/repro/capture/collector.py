@@ -65,6 +65,25 @@ class FlowCollector:
                 selected.append(record)
         return selected
 
+    def flows_for_jobs(self, job_ids: List[str], window_start: float,
+                       window_end: float) -> List[FlowRecord]:
+        """Union capture for several jobs (a workload plan's stages).
+
+        One merged cut, not per-job cuts concatenated: shared control
+        flows overlapping the window appear exactly once even when
+        several stage windows overlap them.
+        """
+        wanted = set(job_ids)
+        selected = []
+        for record in self.records:
+            if record.job_id in wanted:
+                selected.append(record)
+            elif (not record.job_id
+                  and record.component == TrafficComponent.CONTROL.value
+                  and record.start < window_end and record.end >= window_start):
+                selected.append(record)
+        return selected
+
     def trace_for_job(self, meta: CaptureMeta,
                       extra_meta: Optional[Dict[str, Any]] = None) -> JobTrace:
         """Cut the capture into one job's :class:`JobTrace`."""

@@ -3,6 +3,8 @@
 Subcommands mirror the pipeline stages::
 
     keddah capture  --job terasort --input-gb 1.0 --nodes 8 -o trace.jsonl
+    keddah capture  --plan tpcx-hs --scale 1 -o hs.jsonl
+    keddah plans    list
     keddah campaign --job terasort --job grep --workers 4 --store ./store
     keddah pipeline run --dir pipeline/ --experiments e12,e18
     keddah store    stats --store ./store
@@ -41,7 +43,7 @@ from repro.cluster.units import MB
 from repro.generation.export import to_flow_schedule_csv, to_json, to_ns3_script, to_omnet_ini
 from repro.generation.generator import generate_trace
 from repro.generation.replay import replay_trace
-from repro.jobs import job_catalog
+from repro.jobs import job_catalog, plan_catalog
 from repro.modeling.model import JobTrafficModel, fit_job_model
 from repro.net.backend import BACKEND_NAMES, ENGINE_NAMES
 
@@ -52,8 +54,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Capture, model and reproduce Hadoop network traffic.")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    capture = sub.add_parser("capture", help="run a job and capture its flows")
-    capture.add_argument("--job", required=True, choices=sorted(job_catalog()))
+    capture = sub.add_parser(
+        "capture", help="run a job or workload plan and capture its flows")
+    capture.add_argument("--job", default=None, choices=sorted(job_catalog()),
+                         help="single-job capture (exactly one of "
+                              "--job/--plan)")
+    capture.add_argument("--plan", default=None,
+                         choices=sorted(plan_catalog()),
+                         help="multi-stage workload-plan capture "
+                              "(see `keddah plans list`)")
+    capture.add_argument("--scale", type=float, default=None,
+                         help="plan scale factor (shorthand for "
+                              "--plan-param scale=N, e.g. TPCx-HS scale)")
+    capture.add_argument("--plan-param", action="append", default=[],
+                         metavar="K=V", dest="plan_params",
+                         help="plan parameter override (repeatable; values "
+                              "parse as JSON, falling back to strings)")
     capture.add_argument("--input-gb", type=float, default=1.0)
     capture.add_argument("--nodes", type=int, default=8)
     capture.add_argument("--hosts-per-rack", type=int, default=4)
@@ -177,6 +193,10 @@ def build_parser() -> argparse.ArgumentParser:
                           choices=sorted(job_catalog()),
                           help="job kind (repeatable; default: terasort, "
                                "wordcount, grep)")
+    pipeline.add_argument("--plan", action="append", dest="plans",
+                          choices=sorted(plan_catalog()),
+                          help="workload plan captured alongside the sweep "
+                               "(repeatable; adds a capture_plans node)")
     pipeline.add_argument("--sizes-gb", default=None,
                           help="captured sweep per job; the largest size is "
                                "the held-out validation target "
@@ -244,6 +264,15 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("source",
                      help="http(s)://host:port of a serve daemon, or a "
                           "telemetry directory path")
+
+    plans = sub.add_parser(
+        "plans", help="list or describe the registered workload plans")
+    plans.add_argument("action", nargs="?", default="list",
+                       choices=["list", "show"],
+                       help="list: one row per plan; show: the full stage "
+                            "DAG of one plan")
+    plans.add_argument("name", nargs="?", default=None,
+                       help="plan name (with show)")
 
     store_cmd = sub.add_parser(
         "store", help="inspect, scrub or clear the persistent capture store")
@@ -405,14 +434,67 @@ def _write_telemetry_dir(telemetry, directory: str) -> None:
     print(f"telemetry ({len(paths)} artefacts) -> {directory}")
 
 
+def _plan_params_from_args(args: argparse.Namespace) -> dict:
+    """Merge --scale and --plan-param K=V into one parameter dict."""
+    import json
+
+    params: dict = {}
+    for item in args.plan_params:
+        key, sep, raw = item.partition("=")
+        if not sep or not key:
+            raise ValueError(f"bad --plan-param {item!r}; expected K=V")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    if args.scale is not None:
+        params["scale"] = args.scale
+    return params
+
+
 def cmd_capture(args: argparse.Namespace) -> int:
+    if (args.job is None) == (args.plan is None):
+        print("capture needs exactly one of --job or --plan")
+        return 2
+    if args.job is not None and (args.scale is not None or args.plan_params):
+        print("--scale/--plan-param only apply to --plan captures")
+        return 2
     config = HadoopConfig(block_size=args.block_mb * MB,
                           num_reducers=args.reducers,
                           replication=args.replication,
                           scheduler=args.scheduler)
     store = _resolve_store(args.store)
     telemetry = _telemetry_from_args(args)
-    if store is not None:
+    if args.plan is not None:
+        try:
+            params = _plan_params_from_args(args)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        if store is not None:
+            from repro.cluster.config import ClusterSpec
+            from repro.experiments.runner import CampaignRunner, PlanPoint
+
+            spec = ClusterSpec(num_nodes=args.nodes,
+                               hosts_per_rack=args.hosts_per_rack,
+                               backend=args.backend, engine=args.engine)
+            point = PlanPoint.from_configs(args.plan, args.seed, spec, config,
+                                           params)
+            _, trace = CampaignRunner(store=store,
+                                      telemetry=telemetry).run_point(point)
+            origin = "store" if store.stats.hits else "simulated"
+        else:
+            trace = run_capture(plan=args.plan, plan_params=params,
+                                nodes=args.nodes, seed=args.seed,
+                                config=config,
+                                hosts_per_rack=args.hosts_per_rack,
+                                telemetry=telemetry, backend=args.backend,
+                                engine=args.engine)
+            origin = "simulated"
+        from repro.analysis.plans import stage_table
+
+        print(render_table(stage_table(trace)))
+    elif store is not None:
         from repro.cluster.config import ClusterSpec
         from repro.experiments.runner import CampaignRunner, CapturePoint
 
@@ -436,6 +518,56 @@ def cmd_capture(args: argparse.Namespace) -> int:
           f"({trace.total_bytes() / MB:.1f} MiB, {origin}) -> {args.output}")
     if telemetry is not None:
         _write_telemetry_dir(telemetry, args.telemetry)
+    return 0
+
+
+def cmd_plans(args: argparse.Namespace) -> int:
+    from repro.jobs.plan import make_plan
+
+    if args.action == "show":
+        if not args.name:
+            print("plans show needs a plan name (see `keddah plans list`)")
+            return 2
+        try:
+            plan = make_plan(args.name)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        table = Table(title=f"plan {plan.name} "
+                            f"(signature {plan.signature()[:12]})",
+                      headers=["stage", "kind", "inputs", "reducers",
+                               "overrides"])
+        for stage in plan.topological_order():
+            if stage.is_root:
+                inputs = f"external {stage.input_gb} GiB"
+            else:
+                inputs = ", ".join(
+                    f"{edge.source}" + ("" if edge.carryover == 1.0
+                                        else f"x{edge.carryover}")
+                    for edge in stage.inputs)
+            overrides = stage.overrides()
+            table.add_row(stage.name, stage.kind, inputs,
+                          stage.num_reducers or "auto",
+                          ", ".join(f"{k}={v}" for k, v in overrides.items())
+                          or "-")
+        if plan.score_rule:
+            table.notes.append(f"score rule: {plan.score_rule}")
+        if plan.params:
+            table.notes.append(f"default params: {dict(plan.params)}")
+        print(render_table(table))
+        return 0
+    table = Table(title="registered workload plans",
+                  headers=["plan", "stages", "kinds", "score"])
+    for name in sorted(plan_catalog()):
+        plan = make_plan(name)
+        table.add_row(name, len(plan.stages),
+                      "→".join(stage.kind for stage in
+                               plan.topological_order()),
+                      plan.score_rule or "-")
+    table.notes.append("run one with `keddah capture --plan NAME "
+                       "-o trace.jsonl`; inspect with `keddah plans "
+                       "show NAME`")
+    print(render_table(table))
     return 0
 
 
@@ -642,6 +774,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         overrides = {}
         if args.jobs:
             overrides["jobs"] = tuple(args.jobs)
+        if args.plans:
+            overrides["plans"] = tuple(args.plans)
         if args.sizes_gb is not None:
             overrides["sizes_gb"] = _parse_float_list(args.sizes_gb,
                                                       "--sizes-gb")
@@ -1212,6 +1346,7 @@ _COMMANDS = {
     "capture": cmd_capture,
     "campaign": cmd_campaign,
     "pipeline": cmd_pipeline,
+    "plans": cmd_plans,
     "store": cmd_store,
     "fit": cmd_fit,
     "generate": cmd_generate,

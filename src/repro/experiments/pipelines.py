@@ -80,6 +80,9 @@ class PipelineSpec:
     seed: int = DEFAULT_SEED
     campaign: Mapping[str, Any] = field(default_factory=dict)
     experiments: Tuple[str, ...] = ()
+    #: Workload plans captured alongside the single-job sweep (one
+    #: `capture_plans` node, default parameters per plan).
+    plans: Tuple[str, ...] = ()
     e12_job: str = "terasort"
     e12_input_gb: float = 1.0
     e12_nodes: Tuple[int, ...] = (4, 8, 16, 32)
@@ -98,6 +101,15 @@ class PipelineSpec:
                 raise ValueError(
                     f"unknown pipeline experiment {experiment!r}; "
                     f"known: {PIPELINE_EXPERIMENTS}")
+        if self.plans:
+            from repro.jobs.plan import plan_catalog
+
+            known = plan_catalog()
+            unknown_plans = [name for name in self.plans if name not in known]
+            if unknown_plans:
+                raise ValueError(
+                    f"unknown workload plan(s) {unknown_plans}; "
+                    f"known: {sorted(known)}")
         if self.fit_sizes_gb is not None:
             unknown = set(self.fit_sizes_gb) - set(self.sizes_gb)
             if unknown:
@@ -124,6 +136,7 @@ class PipelineSpec:
                 "seed": self.seed,
                 "campaign": dict(self.campaign),
                 "experiments": list(self.experiments),
+                "plans": list(self.plans),
                 "e12_job": self.e12_job,
                 "e12_input_gb": self.e12_input_gb,
                 "e12_nodes": list(self.e12_nodes),
@@ -141,6 +154,7 @@ class PipelineSpec:
                    seed=int(data.get("seed", DEFAULT_SEED)),
                    campaign=dict(data.get("campaign", {})),
                    experiments=tuple(data.get("experiments", ())),
+                   plans=tuple(data.get("plans", ())),
                    e12_job=data.get("e12_job", "terasort"),
                    e12_input_gb=float(data.get("e12_input_gb", 1.0)),
                    e12_nodes=tuple(data.get("e12_nodes", (4, 8, 16, 32))),
@@ -270,6 +284,43 @@ def stage_capture(context: StageContext) -> None:
           "input_gb": point.input_gb, "seed": point.seed}
          for point in points), key=lambda entry: entry["key"])}
     context.write_output("manifest", canonical_json(manifest) + "\n")
+
+
+@register_stage("capture_plans")
+def stage_capture_plans(context: StageContext) -> None:
+    """Capture every declared workload plan into a node-local store.
+
+    Plans get their own store (and node) rather than riding in the
+    single-job capture node: their key schema differs and no current
+    downstream stage consumes them, so a changed plan list never
+    re-keys — and never re-simulates — the shared single-job sweep.
+    """
+    from repro.analysis.plans import stage_breakdown
+    from repro.experiments.runner import PlanPoint
+
+    campaign = CampaignConfig(**dict(context.config["campaign"]))
+    seed = int(context.config["seed"])
+    points = [PlanPoint.from_campaign(name, derive_seed(seed, index),
+                                      campaign)
+              for index, name in enumerate(context.config["plans"])]
+    store = CaptureStore(context.out("store"),
+                         registry=context.telemetry.registry)
+    runner = CampaignRunner(store=store,
+                            workers=int(context.config.get("workers", 1)),
+                            telemetry=context.telemetry)
+    outcomes = runner.run(points)
+    rows = []
+    for point, (result, trace) in zip(points, outcomes):
+        rows.append({"plan": point.plan, "seed": point.seed,
+                     "key": point.key(),
+                     "completion_time": result.completion_time,
+                     "failed": result.failed,
+                     "total_bytes": trace.total_bytes(),
+                     "flows": trace.flow_count(),
+                     "stages": stage_breakdown(trace)})
+    rows.sort(key=lambda row: (row["plan"], row["seed"]))
+    context.write_output("plan_summary",
+                         canonical_json({"plans": rows}) + "\n")
 
 
 @register_stage("classify")
@@ -420,6 +471,21 @@ def stage_report(context: StageContext) -> None:
                     "generation layer.")
     sections.append("")
 
+    if "plan_summary" in context.inputs:
+        plans = json.loads(
+            context.input("plan_summary").read_text(encoding="utf-8"))
+        aggregate["plans"] = plans
+        sections.append("## Workload plans")
+        for row in plans["plans"]:
+            stage_names = [s["stage"] for s in row["stages"]
+                           if s["stage"] != "(shared)"]
+            sections.append(
+                f"- {row['plan']} (seed {row['seed']}): "
+                f"{'→'.join(stage_names)}; completion "
+                f"{row['completion_time']:.2f} s, "
+                f"{row['flows']} flows")
+        sections.append("")
+
     validation = json.loads(
         context.input("validation").read_text(encoding="utf-8"))
     aggregate["validation"] = validation
@@ -476,6 +542,13 @@ def build_pipeline(spec: PipelineSpec) -> PipelineDAG:
         config={"points": capture_point_payloads(spec),
                 "workers": spec.workers},
         out_paths={"store": "store", "manifest": "manifest.json"}))
+    if spec.plans:
+        dag.add(StageNode(
+            "capture_plans", "capture_plans",
+            config={"plans": list(spec.plans), "seed": spec.seed,
+                    "campaign": campaign, "workers": spec.workers},
+            out_paths={"store": "store",
+                       "plan_summary": "plan_summary.json"}))
     dag.add(StageNode(
         "classify", "classify",
         config={"points": base},
@@ -505,6 +578,8 @@ def build_pipeline(spec: PipelineSpec) -> PipelineDAG:
                      "models": ("fit", "models"),
                      "replay": ("replay", "replay"),
                      "validation": ("validate", "validation")}
+    if spec.plans:
+        report_inputs["plan_summary"] = ("capture_plans", "plan_summary")
     for experiment in spec.experiments:
         if experiment == "e12":
             params = {"job": spec.e12_job, "input_gb": spec.e12_input_gb,

@@ -196,6 +196,111 @@ class CapturePoint:
         return results[0], traces[0]
 
 
+@dataclass(frozen=True)
+class PlanPoint:
+    """One fully-specified workload-plan capture.
+
+    The plan analogue of :class:`CapturePoint`, presenting the same
+    surface the runner consumes (``key``/``key_dict``/``simulate`` plus
+    the ``job``/``input_gb``/``seed`` fields supervision reports on) —
+    so plans flow through the journal → memo → store → simulate
+    hierarchy, worker pools, retries and quarantine untouched.
+
+    Keying: the ``plan`` block carries the plan name, its parameters
+    *and* the built plan's structural signature.  The key has no
+    ``job``/``input_gb``/``job_kwargs`` fields and no single-job key
+    ever contains a ``plan`` field, so the two key families can never
+    alias inside one store.
+    """
+
+    plan: str
+    params: Tuple[Tuple[str, Any], ...]
+    seed: int
+    cluster_spec: ClusterSpec
+    hadoop_config: HadoopConfig
+    key_config: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def from_campaign(cls, plan: str, seed: int, campaign: "Any",
+                      params: Optional[Mapping[str, Any]] = None,
+                      ) -> "PlanPoint":
+        return cls(plan=plan, params=_freeze(params), seed=int(seed),
+                   cluster_spec=campaign.cluster_spec(),
+                   hadoop_config=campaign.hadoop_config(),
+                   key_config=_freeze({"campaign": campaign.to_dict()}))
+
+    @classmethod
+    def from_configs(cls, plan: str, seed: int, cluster_spec: ClusterSpec,
+                     hadoop_config: HadoopConfig,
+                     params: Optional[Mapping[str, Any]] = None,
+                     ) -> "PlanPoint":
+        return cls(plan=plan, params=_freeze(params), seed=int(seed),
+                   cluster_spec=cluster_spec, hadoop_config=hadoop_config,
+                   key_config=_freeze({"cluster": cluster_spec.to_dict(),
+                                       "hadoop": hadoop_config.to_dict()}))
+
+    def build(self) -> "Any":
+        """Materialise the :class:`~repro.jobs.plan.WorkloadPlan`."""
+        from repro.jobs.plan import make_plan
+
+        return make_plan(self.plan, **_thaw(self.params))
+
+    # Supervision-facing fields (quarantine records, progress events).
+
+    @property
+    def job(self) -> str:
+        return f"plan:{self.plan}"
+
+    @property
+    def input_gb(self) -> float:
+        """External bytes entering the plan, in GB (display only)."""
+        return self.build().external_gb
+
+    def key_dict(self) -> Dict[str, Any]:
+        """Canonical key: hash input for the store AND the memo key."""
+        plan = self.build()
+        return {
+            "format": TRACE_FORMAT_VERSION,
+            "plan": {"name": self.plan,
+                     "params": _thaw(self.params),
+                     "signature": plan.signature()},
+            "seed": self.seed,
+            "backend": self.cluster_spec.backend,
+            "config": _thaw(self.key_config),
+        }
+
+    def key(self) -> str:
+        return key_hash(self.key_dict())
+
+    def logical_key(self) -> str:
+        """Hash of the workload alone: backend- and format-independent."""
+        logical = self.key_dict()
+        del logical["format"]
+        del logical["backend"]
+        config = {name: dict(value) if isinstance(value, dict) else value
+                  for name, value in logical["config"].items()}
+        for section in config.values():
+            if isinstance(section, dict):
+                section.pop("backend", None)
+        logical["config"] = config
+        return key_hash(logical)
+
+    def simulate(self, telemetry: Optional[Telemetry] = None,
+                 ) -> Tuple[Any, JobTrace]:
+        """Run this plan on a fresh cluster (pure function of the point).
+
+        The plan id derives from the point's logical content hash, so
+        every stage's job id — and therefore its RNG streams, HDFS
+        paths and flow population — is identical no matter which
+        worker runs the point or under which transport backend.
+        """
+        plan = self.build()
+        plan_id = f"plan_{self.plan}_{self.logical_key()[:10]}"
+        cluster = HadoopCluster(self.cluster_spec, self.hadoop_config,
+                                seed=self.seed, telemetry=telemetry)
+        return cluster.run_plan(plan, plan_id=plan_id)
+
+
 def _freeze(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
     """Sorted item-tuple of a kwargs dict (hashable, deterministic)."""
     if not mapping:

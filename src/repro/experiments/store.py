@@ -50,14 +50,17 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.capture.records import CaptureMeta, FlowRecord, JobTrace
-from repro.mapreduce.result import JobResult
+from repro.mapreduce.result import JobResult, PlanResult
 from repro.obs.metrics import MetricsRegistry
 
 #: Version of the (key schema, entry layout, trace JSONL schema) triple.
 #: Bump when any of them changes shape; old entries then re-simulate.
 #: v2: key schema grew a top-level ``backend`` discriminator (transport
 #: substrate), so fluid/analytic captures of one point can never alias.
-TRACE_FORMAT_VERSION = 2
+#: v3: entries may hold workload-plan captures (``result_type: plan``
+#: headers with a PlanResult summary) and plan points key on a ``plan``
+#: block instead of ``job``/``input_gb``/``job_kwargs``.
+TRACE_FORMAT_VERSION = 3
 
 #: Environment variable naming the default store directory.  Unset =
 #: no persistent store (the in-memory memo still applies).
@@ -129,23 +132,30 @@ def key_hash(key: Dict[str, Any]) -> str:
     return hashlib.sha256(canonical_json(key).encode("utf-8")).hexdigest()
 
 
-def encode_entry(key: Dict[str, Any], result: JobResult,
-                 trace: JobTrace) -> str:
+def encode_entry(key: Dict[str, Any], result: Any, trace: JobTrace) -> str:
     """The on-disk entry payload: store header + verbatim trace JSONL.
 
     Shared by the persistent store and the checkpoint journal
     (:mod:`repro.experiments.supervision`), so both replay completed
-    captures byte-identically.
+    captures byte-identically.  ``result`` is either a
+    :class:`JobResult` (single-job capture) or a :class:`PlanResult`
+    (workload-plan capture); the header's ``result_type`` discriminator
+    routes decoding, with absence meaning ``job`` so single-job headers
+    keep their familiar v2 shape.
     """
-    header = {"store": {"format": TRACE_FORMAT_VERSION, "key": key},
-              "result": result.to_dict()}
+    header: Dict[str, Any] = {
+        "store": {"format": TRACE_FORMAT_VERSION, "key": key},
+        "result": result.to_dict(),
+    }
+    if isinstance(result, PlanResult):
+        header["result_type"] = "plan"
     lines = [json.dumps(header),
              json.dumps({"meta": trace.meta.to_dict()})]
     lines.extend(json.dumps(flow.to_dict()) for flow in trace.flows)
     return "\n".join(lines) + "\n"
 
 
-def decode_entry(text: str) -> Tuple[JobResult, JobTrace]:
+def decode_entry(text: str) -> Tuple[Any, JobTrace]:
     """Inverse of :func:`encode_entry`.
 
     Raises :class:`_StaleEntry` for entries written under another
@@ -157,7 +167,13 @@ def decode_entry(text: str) -> Tuple[JobResult, JobTrace]:
     store_info = header["store"]
     if store_info["format"] != TRACE_FORMAT_VERSION:
         raise _StaleEntry(store_info["format"])
-    result = JobResult.from_dict(header["result"])
+    result_type = header.get("result_type", "job")
+    if result_type == "plan":
+        result = PlanResult.from_dict(header["result"])
+    elif result_type == "job":
+        result = JobResult.from_dict(header["result"])
+    else:
+        raise ValueError(f"unknown entry result_type {result_type!r}")
     meta_line = json.loads(lines[1])
     meta = CaptureMeta.from_dict(meta_line["meta"])
     flows = [FlowRecord.from_dict(json.loads(line))

@@ -18,9 +18,23 @@ dfsio          HDFS I/O micro-benchmarks    :mod:`repro.jobs.dfsio`
 =============  ==========================  ============================
 
 ``make_job(kind, input_gb, ...)`` is the uniform factory used by the
-experiment harness.
+experiment harness.  Multi-stage workloads (Pig/Hive chains, TPCx-HS)
+compose these profiles into :class:`~repro.jobs.plan.WorkloadPlan`
+DAGs; ``make_plan(name, ...)`` is the corresponding plan factory.
 """
 
-from repro.jobs.base import JobProfile, JobSpec, job_catalog, make_job
+from repro.jobs.base import JobIdStream, JobProfile, JobSpec, job_catalog, make_job
+from repro.jobs.plan import PlanEdge, PlanStage, WorkloadPlan, make_plan, plan_catalog
 
-__all__ = ["JobProfile", "JobSpec", "job_catalog", "make_job"]
+__all__ = [
+    "JobIdStream",
+    "JobProfile",
+    "JobSpec",
+    "PlanEdge",
+    "PlanStage",
+    "WorkloadPlan",
+    "job_catalog",
+    "make_job",
+    "make_plan",
+    "plan_catalog",
+]

@@ -375,11 +375,13 @@ def test_bottlenecked_flows_skips_missing_and_coerces():
 def _reset_counter_streams():
     """Rewind the process-global id streams the capture bytes embed.
 
-    Job/container/block ids come from module-level ``itertools.count``
+    Container/block ids come from module-level ``itertools.count``
     streams, so the *second* simulation in one process would differ in
     ids (and the ports derived from them) for reasons that have nothing
     to do with the engine under test.  Flow ids no longer need
-    rewinding: each backend owns its own stream.
+    rewinding: each backend owns its own stream.  Job ids come from the
+    per-kind :class:`repro.jobs.base.JobIdStream` fallback, rewound via
+    its public reset helper.
     """
     import itertools
 
@@ -387,7 +389,7 @@ def _reset_counter_streams():
     import repro.jobs.base as jobs_base
     import repro.yarn.containers as containers
 
-    jobs_base._job_counter = itertools.count(1)
+    jobs_base.reset_default_ids()
     containers._container_ids = itertools.count(1)
     blocks._block_ids = itertools.count(1)
 
